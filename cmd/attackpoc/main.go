@@ -1,0 +1,45 @@
+// Command attackpoc runs the SPECRUN proof-of-concept of Fig. 8 and renders
+// the probe sweeps of Fig. 9 (plain PoC) or Fig. 11 (secret access pushed
+// beyond the reorder buffer, on both machines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specrun/internal/core"
+)
+
+func main() {
+	fig := flag.Int("fig", 9, "9 (PoC sweep) or 11 (beyond-the-ROB comparison)")
+	flag.Parse()
+
+	switch *fig {
+	case 9:
+		r, err := core.RunFig9(core.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Fig. 9: probe access time after SPECRUN (secret 86)")
+		fmt.Print(core.FormatProbe(r, 12))
+	case 11:
+		r, err := core.RunFig11(core.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Fig. 11 (secret 127, 300-nop pad)")
+		fmt.Println("-- no-runahead machine:")
+		fmt.Print(core.FormatProbe(r.NoRunahead, 8))
+		fmt.Println("-- runahead machine:")
+		fmt.Print(core.FormatProbe(r.Runahead, 8))
+	default:
+		fmt.Fprintln(os.Stderr, "attackpoc: -fig must be 9 or 11")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "attackpoc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Command ipcbench regenerates Fig. 7 of the SPECRUN paper: normalized IPC
+// of the six SPEC2006-like kernels on the no-runahead and runahead machines.
+//
+// Flags select a runahead variant and optionally the literal Table 1
+// register-file sizes (an ablation: the printed 80/40/40 starve the window).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specrun/internal/core"
+	"specrun/internal/cpu"
+	"specrun/internal/runahead"
+)
+
+func main() {
+	mode := flag.String("runahead", "original", "original | precise | vector")
+	table1RF := flag.Bool("table1-rf", false, "use the literal Table 1 register-file sizes")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	switch *mode {
+	case "original":
+	case "precise":
+		cfg.Runahead.Kind = runahead.KindPrecise
+	case "vector":
+		cfg.Runahead.Kind = runahead.KindVector
+	default:
+		fmt.Fprintf(os.Stderr, "ipcbench: unknown runahead mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *table1RF {
+		cfg = cpu.Table1RegisterFiles(cfg)
+	}
+
+	rows, err := core.RunIPCComparison(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipcbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(core.FormatIPC(rows))
+}

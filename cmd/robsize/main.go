@@ -1,0 +1,21 @@
+// Command robsize regenerates Fig. 10 of the SPECRUN paper: the size of the
+// transient instruction window in the three measurement scenarios (normal
+// mode, one runahead episode, repeated flushing).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"specrun/internal/core"
+)
+
+func main() {
+	n1, n2, n3, err := core.RunFig10(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robsize:", err)
+		os.Exit(1)
+	}
+	fmt.Print(core.FormatWindows(n1, n2, n3))
+	fmt.Printf("\nper-episode reaches:\n  N2: %v\n  N3: %v\n", n2.Reaches, n3.Reaches)
+}

@@ -1,0 +1,259 @@
+// Command specrun regenerates every table and figure of the SPECRUN paper
+// (DAC 2024) on the simulated Table 1 processor.
+//
+// Usage:
+//
+//	specrun config             print Table 1
+//	specrun ipc                Fig. 7  (normalized IPC, 6 benchmarks)
+//	specrun fig9               Fig. 9  (PHT PoC probe sweep)
+//	specrun window             Fig. 10 (N1/N2/N3 transient windows)
+//	specrun fig11              Fig. 11 (beyond-the-ROB leak)
+//	specrun defense            §6      (SL cache + skip-INV mitigations)
+//	specrun variants           §4.3/4.4 applicability matrix
+//	specrun attack [flags]     one PoC run (see flags below)
+//	specrun leak [flags]       extract a multi-byte secret
+//	specrun all                everything above, in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specrun/internal/attack"
+	"specrun/internal/core"
+	"specrun/internal/cpu"
+	"specrun/internal/runahead"
+	"specrun/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "config":
+		fmt.Print(core.Table1(core.DefaultConfig()))
+	case "ipc":
+		err = runIPC()
+	case "fig9":
+		err = runFig9()
+	case "window":
+		err = runWindow()
+	case "fig11":
+		err = runFig11()
+	case "defense":
+		err = runDefense()
+	case "variants":
+		err = runVariants()
+	case "attack":
+		err = runAttack(args)
+	case "leak":
+		err = runLeak(args)
+	case "trace":
+		err = runTrace(args)
+	case "all":
+		fmt.Print(core.Table1(core.DefaultConfig()))
+		fmt.Println()
+		for _, f := range []func() error{runIPC, runFig9, runWindow, runFig11, runDefense, runVariants} {
+			if err = f(); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specrun:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: specrun <config|ipc|fig9|window|fig11|defense|variants|attack|leak|trace|all> [flags]`)
+}
+
+// runTrace simulates one Fig. 7 kernel with the pipeline tracer attached and
+// writes per-cycle occupancy samples as CSV (runahead episodes appear as
+// sawtooths in the ROB column).
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	bench := fs.String("bench", "Gems", "workload kernel to trace")
+	every := fs.Uint64("every", 50, "cycles between samples")
+	out := fs.String("out", "", "output file (default stdout)")
+	noRA := fs.Bool("no-runahead", false, "trace the baseline machine instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg := core.DefaultConfig()
+	if *noRA {
+		cfg = core.BaselineConfig()
+	}
+	m := core.NewMachine(cfg, k.Build())
+	m.SetTracer(*every, cpu.CSVTracer(w))
+	if err := m.Run(50_000_000); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "traced %s: %d cycles, %d episodes\n",
+		k.Name, m.Stats().Cycles, m.Stats().RunaheadEpisodes)
+	return nil
+}
+
+func runIPC() error {
+	rows, err := core.RunIPCComparison(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatIPC(rows))
+	return nil
+}
+
+func runFig9() error {
+	r, err := core.RunFig9(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 9: probe access time after SPECRUN (secret byte 86)")
+	fmt.Print(core.FormatProbe(r, 12))
+	return nil
+}
+
+func runWindow() error {
+	n1, n2, n3, err := core.RunFig10(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatWindows(n1, n2, n3))
+	return nil
+}
+
+func runFig11() error {
+	r, err := core.RunFig11(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 11: secret access pushed beyond the ROB (300 nops, secret 127)")
+	fmt.Println("-- no-runahead machine:")
+	fmt.Print(core.FormatProbe(r.NoRunahead, 8))
+	fmt.Println("-- runahead machine:")
+	fmt.Print(core.FormatProbe(r.Runahead, 8))
+	return nil
+}
+
+func runDefense() error {
+	d, err := core.RunDefense(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatDefense(d))
+	return nil
+}
+
+func runVariants() error {
+	rows, err := core.RunVariantMatrix(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatVariants(rows))
+	return nil
+}
+
+func attackFlags(args []string) (attack.Params, core.Config, error) {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	variant := fs.String("variant", "pht", "pht | btb | rsb-overwrite | rsb-flush")
+	mode := fs.String("runahead", "original", "none | original | precise | vector")
+	secure := fs.Bool("secure", false, "enable the §6 SL-cache defense")
+	skipINV := fs.Bool("skipinv", false, "enable the skip-INV-branch restriction")
+	pad := fs.Int("pad", 0, "nops between branch and secret access (Fig. 11)")
+	secret := fs.Int("secret", 86, "secret byte value to plant")
+	if err := fs.Parse(args); err != nil {
+		return attack.Params{}, core.Config{}, err
+	}
+	p := attack.DefaultParams()
+	p.Secret = []byte{byte(*secret)}
+	p.NopPad = *pad
+	switch *variant {
+	case "pht":
+		p.Variant = attack.VariantPHT
+	case "btb":
+		p.Variant = attack.VariantBTB
+	case "rsb-overwrite":
+		p.Variant = attack.VariantRSBOverwrite
+	case "rsb-flush":
+		p.Variant = attack.VariantRSBFlush
+	default:
+		return p, core.Config{}, fmt.Errorf("unknown variant %q", *variant)
+	}
+	cfg := core.DefaultConfig()
+	switch *mode {
+	case "none":
+		cfg.Runahead.Kind = runahead.KindNone
+	case "original":
+	case "precise":
+		cfg.Runahead.Kind = runahead.KindPrecise
+	case "vector":
+		cfg.Runahead.Kind = runahead.KindVector
+	default:
+		return p, cfg, fmt.Errorf("unknown runahead mode %q", *mode)
+	}
+	cfg.Secure.Enabled = *secure
+	cfg.Runahead.SkipINVBranch = *skipINV
+	return p, cfg, nil
+}
+
+func runAttack(args []string) error {
+	p, cfg, err := attackFlags(args)
+	if err != nil {
+		return err
+	}
+	r, err := core.RunAttack(cfg, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("variant=%s episodes=%d INV-branches=%d\n",
+		p.Variant, r.Stats.RunaheadEpisodes, r.Stats.INVBranches)
+	fmt.Print(core.FormatProbe(r, 12))
+	return nil
+}
+
+func runLeak(args []string) error {
+	fs := flag.NewFlagSet("leak", flag.ContinueOnError)
+	secret := fs.String("text", "SPECRUN", "secret string to plant and extract")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := attack.DefaultParams()
+	p.Secret = []byte(*secret)
+	got, results, err := attack.LeakSecret(core.DefaultConfig(), p)
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		status := "miss"
+		if r.Leaked {
+			status = "hit"
+		}
+		fmt.Printf("byte %2d: %3d %q  (%s, lat %d vs median %d)\n",
+			i, got[i], string(rune(got[i])), status, r.BestLat, r.Median)
+	}
+	fmt.Printf("recovered secret: %q\n", string(got))
+	return nil
+}

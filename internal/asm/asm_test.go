@@ -1,0 +1,268 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"specrun/internal/isa"
+	"specrun/internal/mem"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(0x1000, 0x100000)
+	arr := b.Alloc("arr", 64, 8)
+	b.U64(arr, 1, 2, 3)
+	b.MoviAddr(isa.R(1), arr)
+	b.Ld(isa.R(2), isa.R(1), 8)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 0x1000 || len(p.Insts) != 3 {
+		t.Fatalf("base=%#x insts=%d", p.Base, len(p.Insts))
+	}
+	if got := p.MustSym("arr"); got != 0x100000 {
+		t.Fatalf("arr = %#x", got)
+	}
+	m := mem.NewMemory()
+	p.LoadInto(m)
+	if m.ReadU64(arr+8) != 2 {
+		t.Fatal("data segment not loaded")
+	}
+}
+
+func TestBuilderForwardLabel(t *testing.T) {
+	b := NewBuilder(0x1000, 0x100000)
+	b.Beq(isa.R(1), isa.R(2), "done") // forward reference
+	b.Nop()
+	b.Label("done")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Target != 0x1008 {
+		t.Fatalf("forward target = %#x, want 0x1008", p.Insts[0].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder(0x1000, 0x100000)
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("err = %v, want undefined label", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder(0x1000, 0x100000)
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate label must fail")
+	}
+}
+
+func TestBuilderAllocAlignment(t *testing.T) {
+	b := NewBuilder(0x1000, 0x100001)
+	a := b.Alloc("a", 10, 64)
+	if a%64 != 0 {
+		t.Fatalf("a = %#x not 64-aligned", a)
+	}
+	c := b.Alloc("c", 8, 64)
+	if c <= a || c%64 != 0 {
+		t.Fatalf("c = %#x", c)
+	}
+}
+
+func TestInstAtBounds(t *testing.T) {
+	b := NewBuilder(0x1000, 0x100000)
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	if _, ok := p.InstAt(0x0fff); ok {
+		t.Fatal("pc below base must miss")
+	}
+	if _, ok := p.InstAt(0x1001); ok {
+		t.Fatal("unaligned pc must miss")
+	}
+	if in, ok := p.InstAt(0x1004); !ok || in.Op != isa.HALT {
+		t.Fatalf("InstAt(0x1004) = %v, %v", in, ok)
+	}
+	if _, ok := p.InstAt(p.End()); ok {
+		t.Fatal("pc at end must miss")
+	}
+}
+
+const sampleSrc = `
+; sample program exercising the full dialect
+.org 0x2000
+.data 0x200000
+.equ magic 0x42
+
+array1: .byte 1, 2, 3, 4
+.align 64
+table:  .u64 10, 20, 30
+msg:    .ascii "hi"
+buf:    .zero 128
+
+start:
+    movi r1, array1
+    movi r2, magic       ; symbolic immediate
+    ldb  r3, [r1 + 2]
+    ldx  r4, [r1 + r3*8 + 0]
+    mov  r5, r4
+    addi r5, r5, -1
+    st   [r1 + 8], r5
+    beq  r3, r0, start
+loop:
+    bne  r3, r0, done    # forward branch
+    jmp  loop
+done:
+    clflush [r1]
+    rdtsc r6
+    call func
+    halt
+func:
+    ret
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse("sample", sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 0x2000 {
+		t.Fatalf("base = %#x", p.Base)
+	}
+	if got := p.MustSym("array1"); got != 0x200000 {
+		t.Fatalf("array1 = %#x", got)
+	}
+	if got := p.MustSym("table"); got%64 != 0 || got <= p.MustSym("array1") {
+		t.Fatalf("table = %#x", got)
+	}
+	if got := p.MustSym("magic"); got != 0x42 {
+		t.Fatalf("magic = %#x", got)
+	}
+	// movi r2, magic resolved the symbol.
+	if p.Insts[1].Imm != 0x42 {
+		t.Fatalf("symbolic imm = %d", p.Insts[1].Imm)
+	}
+	// ldb displacement.
+	if p.Insts[2].Op != isa.LDB || p.Insts[2].Imm != 2 {
+		t.Fatalf("ldb = %v", p.Insts[2])
+	}
+	// ldx scale 8 -> shift 3.
+	if p.Insts[3].Scale != 3 {
+		t.Fatalf("ldx scale = %d", p.Insts[3].Scale)
+	}
+	// mov pseudo became addi.
+	if p.Insts[4].Op != isa.ADDI {
+		t.Fatalf("mov = %v", p.Insts[4])
+	}
+	// Negative immediate.
+	if p.Insts[5].Imm != -1 {
+		t.Fatalf("addi imm = %d", p.Insts[5].Imm)
+	}
+	// Backward branch target.
+	if p.Insts[7].Target != p.MustSym("start") {
+		t.Fatalf("beq target = %#x", p.Insts[7].Target)
+	}
+	// Forward branch target.
+	if p.Insts[8].Target != p.MustSym("done") {
+		t.Fatalf("bne target = %#x want done", p.Insts[8].Target)
+	}
+	// Data contents.
+	m := mem.NewMemory()
+	p.LoadInto(m)
+	if m.ByteAt(p.MustSym("array1")+1) != 2 {
+		t.Fatal("array1 data wrong")
+	}
+	if m.ReadU64(p.MustSym("table")+16) != 30 {
+		t.Fatal("table data wrong")
+	}
+	if string(m.ReadBytes(p.MustSym("msg"), 2)) != "hi" {
+		t.Fatal("ascii data wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frob r1, r2", "unknown mnemonic"},
+		{"bad reg", "add q1, r2, r3", "invalid register"},
+		{"bad operand count", "add r1, r2", "wants 3 operands"},
+		{"undefined symbol", "movi r1, nosuch", "undefined symbol"},
+		{"bad directive", ".frob 12", "unknown directive"},
+		{"duplicate label", "a:\na:\nnop", "duplicate"},
+		{"bad memop", "ld r1, r2", "bad memory operand"},
+		{"bad scale", "ldx r1, [r2 + r3*3 + 0]", "bad scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("t", tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseNegativeDisplacement(t *testing.T) {
+	p, err := Parse("t", "ld r1, [r2 - 16]\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != -16 {
+		t.Fatalf("imm = %d, want -16", p.Insts[0].Imm)
+	}
+}
+
+func TestParseIndexNoScale(t *testing.T) {
+	p, err := Parse("t", "ldx r1, [r2 + r3 + 4]\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Insts[0]
+	if in.Rs2 != isa.R(3) || in.Scale != 0 || in.Imm != 4 {
+		t.Fatalf("parsed %+v", in)
+	}
+}
+
+// Round trip: the disassembly of a parsed program re-parses to identical
+// instructions (labels become absolute addresses, which the parser accepts).
+func TestDisassembleRoundTrip(t *testing.T) {
+	p := MustParse("t", sampleSrc)
+	dis := p.Disassemble()
+	var b strings.Builder
+	b.WriteString(".org 0x2000\n")
+	for _, line := range strings.Split(dis, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasSuffix(line, ":") {
+			continue
+		}
+		// Drop the address column.
+		fields := strings.SplitN(line, "  ", 2)
+		if len(fields) != 2 {
+			t.Fatalf("bad disassembly line %q", line)
+		}
+		b.WriteString(strings.TrimSpace(fields[1]) + "\n")
+	}
+	p2, err := Parse("rt", b.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, b.String())
+	}
+	if len(p2.Insts) != len(p.Insts) {
+		t.Fatalf("inst count %d != %d", len(p2.Insts), len(p.Insts))
+	}
+	for i := range p.Insts {
+		a, c := p.Insts[i], p2.Insts[i]
+		// The mov pseudo disassembles as addi; compare semantics.
+		if a.Op != c.Op || a.Rd != c.Rd || a.Rs1 != c.Rs1 || a.Rs2 != c.Rs2 ||
+			a.Rs3 != c.Rs3 || a.Imm != c.Imm || a.Target != c.Target || a.Scale != c.Scale {
+			t.Fatalf("inst %d: %v != %v", i, a, c)
+		}
+	}
+}

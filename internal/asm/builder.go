@@ -1,0 +1,377 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"specrun/internal/isa"
+)
+
+// Builder assembles a program from Go code.  Methods append instructions;
+// Label defines code labels (forward references are patched at Build);
+// Alloc reserves data storage and records the symbol.
+//
+// The zero Builder is not usable; call NewBuilder.
+type Builder struct {
+	base       uint64
+	insts      []isa.Inst
+	syms       map[string]uint64
+	pending    map[string][]int // label -> indices of insts whose Target needs patching
+	pendingImm map[string][]int // label -> indices of insts whose Imm needs patching
+	segs       []Segment
+	dataCursor uint64
+	errs       []error
+}
+
+// NewBuilder starts a program whose text begins at codeBase and whose data
+// allocation cursor starts at dataBase.
+func NewBuilder(codeBase, dataBase uint64) *Builder {
+	return &Builder{
+		base:       codeBase,
+		syms:       make(map[string]uint64),
+		pending:    make(map[string][]int),
+		pendingImm: make(map[string][]int),
+		dataCursor: dataBase,
+	}
+}
+
+// PC returns the address of the next instruction to be emitted.
+func (b *Builder) PC() uint64 { return b.base + uint64(len(b.insts))*isa.InstBytes }
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("asm: "+format, args...))
+}
+
+// Label defines name at the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.syms[name]; dup {
+		b.errf("duplicate symbol %q", name)
+		return
+	}
+	b.syms[name] = b.PC()
+}
+
+// Equ defines name as an arbitrary constant symbol.
+func (b *Builder) Equ(name string, value uint64) {
+	if _, dup := b.syms[name]; dup {
+		b.errf("duplicate symbol %q", name)
+		return
+	}
+	b.syms[name] = value
+}
+
+// Alloc reserves size bytes of (zeroed) data storage aligned to align and
+// records name as its address.
+func (b *Builder) Alloc(name string, size, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	b.dataCursor = (b.dataCursor + align - 1) &^ (align - 1)
+	addr := b.dataCursor
+	b.dataCursor += size
+	if name != "" {
+		b.Equ(name, addr)
+	}
+	return addr
+}
+
+// Bytes places initialised data at addr.
+func (b *Builder) Bytes(addr uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.segs = append(b.segs, Segment{Addr: addr, Data: cp})
+}
+
+// U64 places 64-bit little-endian words at addr.
+func (b *Builder) U64(addr uint64, vals ...uint64) {
+	data := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(data[i*8:], v)
+	}
+	b.segs = append(b.segs, Segment{Addr: addr, Data: data})
+}
+
+// emit appends an instruction.
+func (b *Builder) emit(in isa.Inst) {
+	b.insts = append(b.insts, in)
+}
+
+// emitTo appends an instruction whose Target refers to a label.
+func (b *Builder) emitTo(in isa.Inst, label string) {
+	if addr, ok := b.syms[label]; ok {
+		in.Target = addr
+		b.emit(in)
+		return
+	}
+	b.pending[label] = append(b.pending[label], len(b.insts))
+	b.emit(in)
+}
+
+// Integer ALU.
+
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SUB, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.MUL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.DIV, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AND, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) { b.emit(isa.Inst{Op: isa.OR, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.XOR, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Shl(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SHL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Shr(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SHR, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ANDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Shli(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.SHLI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Shri(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.SHRI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Movi loads a 64-bit immediate.
+func (b *Builder) Movi(rd isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.MOVI, Rd: rd, Imm: imm}) }
+
+// MoviAddr loads an address constant.
+func (b *Builder) MoviAddr(rd isa.Reg, addr uint64) { b.Movi(rd, int64(addr)) }
+
+// MoviLabel loads the address of a (possibly forward) code label.
+func (b *Builder) MoviLabel(rd isa.Reg, label string) {
+	if addr, ok := b.syms[label]; ok {
+		b.Movi(rd, int64(addr))
+		return
+	}
+	b.pendingImm[label] = append(b.pendingImm[label], len(b.insts))
+	b.Movi(rd, 0)
+}
+
+// Mov copies a register (encoded as ADDI rd, rs, 0).
+func (b *Builder) Mov(rd, rs isa.Reg) { b.Addi(rd, rs, 0) }
+
+// Loads and stores.
+
+func (b *Builder) Ld(rd, base isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.LD, Rd: rd, Rs1: base, Imm: imm})
+}
+func (b *Builder) Ldb(rd, base isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.LDB, Rd: rd, Rs1: base, Imm: imm})
+}
+func (b *Builder) Ldx(rd, base, idx isa.Reg, scale uint8, imm int64) {
+	b.emit(isa.Inst{Op: isa.LDX, Rd: rd, Rs1: base, Rs2: idx, Scale: scale, Imm: imm})
+}
+func (b *Builder) Ldbx(rd, base, idx isa.Reg, scale uint8, imm int64) {
+	b.emit(isa.Inst{Op: isa.LDBX, Rd: rd, Rs1: base, Rs2: idx, Scale: scale, Imm: imm})
+}
+func (b *Builder) St(base isa.Reg, imm int64, src isa.Reg) {
+	b.emit(isa.Inst{Op: isa.ST, Rs1: base, Imm: imm, Rs3: src})
+}
+func (b *Builder) Stb(base isa.Reg, imm int64, src isa.Reg) {
+	b.emit(isa.Inst{Op: isa.STB, Rs1: base, Imm: imm, Rs3: src})
+}
+func (b *Builder) Stx(base, idx isa.Reg, scale uint8, imm int64, src isa.Reg) {
+	b.emit(isa.Inst{Op: isa.STX, Rs1: base, Rs2: idx, Scale: scale, Imm: imm, Rs3: src})
+}
+func (b *Builder) Stbx(base, idx isa.Reg, scale uint8, imm int64, src isa.Reg) {
+	b.emit(isa.Inst{Op: isa.STBX, Rs1: base, Rs2: idx, Scale: scale, Imm: imm, Rs3: src})
+}
+
+// Branches (label targets, forward references allowed).
+
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BEQ, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BNE, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BLT, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BGE, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BLTU, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BGEU, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Jmp(label string)  { b.emitTo(isa.Inst{Op: isa.JMP}, label) }
+func (b *Builder) Call(label string) { b.emitTo(isa.Inst{Op: isa.CALL}, label) }
+func (b *Builder) Jr(rs isa.Reg)     { b.emit(isa.Inst{Op: isa.JR, Rs1: rs}) }
+func (b *Builder) Callr(rs isa.Reg)  { b.emit(isa.Inst{Op: isa.CALLR, Rs1: rs}) }
+func (b *Builder) Ret()              { b.emit(isa.Inst{Op: isa.RET}) }
+
+// JmpAddr jumps to an absolute address (for cross-region gadget jumps).
+func (b *Builder) JmpAddr(addr uint64) { b.emit(isa.Inst{Op: isa.JMP, Target: addr}) }
+
+// CallAddr calls an absolute address.
+func (b *Builder) CallAddr(addr uint64) { b.emit(isa.Inst{Op: isa.CALL, Target: addr}) }
+
+// Cache and measurement.
+
+func (b *Builder) Clflush(base isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.CLFLUSH, Rs1: base, Imm: imm})
+}
+func (b *Builder) Rdtsc(rd isa.Reg) { b.emit(isa.Inst{Op: isa.RDTSC, Rd: rd}) }
+
+// Floating point.
+
+func (b *Builder) Fld(fd, base isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.FLD, Rd: fd, Rs1: base, Imm: imm})
+}
+func (b *Builder) Fldx(fd, base, idx isa.Reg, scale uint8, imm int64) {
+	b.emit(isa.Inst{Op: isa.FLD, Rd: fd, Rs1: base, Rs2: idx, Scale: scale, Imm: imm})
+}
+func (b *Builder) Fst(base isa.Reg, imm int64, src isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FST, Rs1: base, Imm: imm, Rs3: src})
+}
+func (b *Builder) Fstx(base, idx isa.Reg, scale uint8, imm int64, src isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FST, Rs1: base, Rs2: idx, Scale: scale, Imm: imm, Rs3: src})
+}
+func (b *Builder) Fadd(fd, fs1, fs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FADD, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+func (b *Builder) Fsub(fd, fs1, fs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FSUB, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+func (b *Builder) Fmul(fd, fs1, fs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FMUL, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+func (b *Builder) Fdiv(fd, fs1, fs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FDIV, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+func (b *Builder) Fmovi(fd isa.Reg, v float64) {
+	b.emit(isa.Inst{Op: isa.FMOVI, Rd: fd, Imm: int64(math.Float64bits(v))})
+}
+
+// Vector.
+
+func (b *Builder) Vld(vd, base isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.VLD, Rd: vd, Rs1: base, Imm: imm})
+}
+func (b *Builder) Vst(base isa.Reg, imm int64, src isa.Reg) {
+	b.emit(isa.Inst{Op: isa.VST, Rs1: base, Imm: imm, Rs3: src})
+}
+func (b *Builder) Vaddq(vd, vs1, vs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.VADDQ, Rd: vd, Rs1: vs1, Rs2: vs2})
+}
+func (b *Builder) Vxorq(vd, vs1, vs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.VXORQ, Rd: vd, Rs1: vs1, Rs2: vs2})
+}
+
+// Miscellaneous.
+
+func (b *Builder) Nop()   { b.emit(isa.Inst{Op: isa.NOP}) }
+func (b *Builder) Fence() { b.emit(isa.Inst{Op: isa.FENCE}) }
+func (b *Builder) Halt()  { b.emit(isa.Inst{Op: isa.HALT}) }
+
+// NopN emits n NOPs (Fig. 10/11 padding).
+func (b *Builder) NopN(n int) {
+	for i := 0; i < n; i++ {
+		b.Nop()
+	}
+}
+
+// Build resolves forward references, validates every instruction and returns
+// the program.
+func (b *Builder) Build() (*Program, error) {
+	for label, sites := range b.pending {
+		addr, ok := b.syms[label]
+		if !ok {
+			b.errf("undefined label %q", label)
+			continue
+		}
+		for _, idx := range sites {
+			b.insts[idx].Target = addr
+		}
+	}
+	for label, sites := range b.pendingImm {
+		addr, ok := b.syms[label]
+		if !ok {
+			b.errf("undefined label %q", label)
+			continue
+		}
+		for _, idx := range sites {
+			b.insts[idx].Imm = int64(addr)
+		}
+	}
+	for i, in := range b.insts {
+		if err := in.Validate(); err != nil {
+			b.errf("inst %d (%#x): %v", i, b.base+uint64(i)*isa.InstBytes, err)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return &Program{
+		Base:     b.base,
+		Insts:    b.insts,
+		Segments: b.segs,
+		Symbols:  b.syms,
+	}, nil
+}
+
+// MustBuild is Build that panics on error, for generators whose inputs are
+// program constants.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SymNow returns the current value of a symbol already defined on the
+// builder (labels, Equ constants and Alloc addresses).  Unlike Program.Sym
+// it is usable while the program is still being built.
+func (b *Builder) SymNow(name string) (uint64, bool) {
+	v, ok := b.syms[name]
+	return v, ok
+}
+
+// MustSymNow is SymNow for symbols the caller just defined.
+func (b *Builder) MustSymNow(name string) uint64 {
+	v, ok := b.syms[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: undefined symbol %q", name))
+	}
+	return v
+}
+
+// PadTo emits NOPs until the next instruction would be placed at addr
+// (alignment filler for BTB-aliasing layouts).
+func (b *Builder) PadTo(addr uint64) {
+	if addr < b.PC() || (addr-b.base)%isa.InstBytes != 0 {
+		b.errf("PadTo(%#x): behind current pc %#x or unaligned", addr, b.PC())
+		return
+	}
+	for b.PC() < addr {
+		b.Nop()
+	}
+}

@@ -1,0 +1,591 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"specrun/internal/isa"
+)
+
+// Parse assembles source text into a Program.  The dialect:
+//
+//	; comment            (also "#" and "//")
+//	.org 0x1000          set the text base (before any instruction)
+//	.data 0x100000       set the data cursor
+//	.align 64            align the data cursor
+//	.equ name 0x42       define a constant symbol
+//	label:               define a code label (or data label before a directive)
+//	buf: .zero 256       reserve zeroed data
+//	tab: .u64 1, 2, 3    initialised 64-bit words
+//	msg: .byte 1, 2      initialised bytes
+//	s:   .ascii "text"   initialised string
+//
+//	add r1, r2, r3       ALU register forms
+//	addi r1, r2, -5      ALU immediate forms
+//	movi r1, array1      symbols allowed wherever immediates are
+//	ld r1, [r2 + 8]      loads; also [r2], [r2 + r3*8 + off]
+//	st [r2 + 8], r3      stores
+//	beq r1, r2, label    branches; targets are labels or absolute addresses
+//	clflush [r2]         flush; rdtsc r1; call f; ret; nop; fence; halt
+//
+// Assembly is two-pass: pass one sizes text/data and collects symbols, pass
+// two emits instructions with all symbols resolved.
+func Parse(name, src string) (*Program, error) {
+	p := &parser{
+		file: name,
+		syms: make(map[string]uint64),
+		base: 0x1000,
+		data: 0x100000,
+	}
+	if err := p.run(src, 1); err != nil {
+		return nil, err
+	}
+	p.reset()
+	if err := p.run(src, 2); err != nil {
+		return nil, err
+	}
+	prog := &Program{Base: p.base, Insts: p.insts, Segments: p.segs, Symbols: p.syms}
+	for i, in := range prog.Insts {
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: instruction %d: %v", name, i, err)
+		}
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error, for source constants.
+func MustParse(name, src string) *Program {
+	p, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	file    string
+	base    uint64
+	baseSet bool
+	pc      uint64
+	data    uint64
+	syms    map[string]uint64
+	insts   []isa.Inst
+	segs    []Segment
+	pass    int
+}
+
+func (p *parser) reset() {
+	p.pc = p.base
+	p.data = 0x100000
+	p.baseSet = false
+	p.insts = nil
+	p.segs = nil
+}
+
+func (p *parser) run(src string, pass int) error {
+	p.pass = pass
+	p.pc = p.base
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return fmt.Errorf("%s:%d: %v", p.file, lineNo+1, err)
+		}
+	}
+	return nil
+}
+
+func stripComment(s string) string {
+	for _, sep := range []string{";", "#", "//"} {
+		// Do not cut inside string literals.
+		inStr := false
+		for i := 0; i+len(sep) <= len(s); i++ {
+			if s[i] == '"' {
+				inStr = !inStr
+			}
+			if !inStr && strings.HasPrefix(s[i:], sep) {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (p *parser) define(name string, v uint64) error {
+	if p.pass == 2 {
+		return nil // already collected in pass one
+	}
+	if _, dup := p.syms[name]; dup {
+		return fmt.Errorf("duplicate symbol %q", name)
+	}
+	p.syms[name] = v
+	return nil
+}
+
+func (p *parser) line(line string) error {
+	// Peel off "label:" prefixes.
+	for {
+		idx := strings.Index(line, ":")
+		if idx < 0 {
+			break
+		}
+		head := strings.TrimSpace(line[:idx])
+		if !isIdent(head) {
+			break
+		}
+		rest := strings.TrimSpace(line[idx+1:])
+		// A label before a data directive names the data cursor; before an
+		// instruction (or nothing) it names the current PC.
+		if strings.HasPrefix(rest, ".zero") || strings.HasPrefix(rest, ".u64") ||
+			strings.HasPrefix(rest, ".byte") || strings.HasPrefix(rest, ".ascii") {
+			if err := p.define(head, p.data); err != nil {
+				return err
+			}
+		} else {
+			if err := p.define(head, p.pc); err != nil {
+				return err
+			}
+		}
+		line = rest
+		if line == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(line, ".") {
+		return p.directive(line)
+	}
+	return p.instruction(line)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func (p *parser) directive(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	dir := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".org":
+		v, err := p.immediate(rest)
+		if err != nil {
+			return err
+		}
+		if len(p.insts) > 0 || (p.pass == 1 && p.pc != p.base) {
+			return fmt.Errorf(".org after instructions")
+		}
+		p.base, p.baseSet = uint64(v), true
+		p.pc = p.base
+		return nil
+	case ".data":
+		v, err := p.immediate(rest)
+		if err != nil {
+			return err
+		}
+		p.data = uint64(v)
+		return nil
+	case ".align":
+		v, err := p.immediate(rest)
+		if err != nil {
+			return err
+		}
+		a := uint64(v)
+		if a == 0 || a&(a-1) != 0 {
+			return fmt.Errorf(".align %d is not a power of two", a)
+		}
+		p.data = (p.data + a - 1) &^ (a - 1)
+		return nil
+	case ".equ":
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return fmt.Errorf(".equ wants name and value")
+		}
+		v, err := p.immediate(parts[1])
+		if err != nil {
+			return err
+		}
+		return p.define(parts[0], uint64(v))
+	case ".zero":
+		v, err := p.immediate(rest)
+		if err != nil {
+			return err
+		}
+		p.data += uint64(v)
+		return nil
+	case ".u64":
+		args := splitArgs(rest)
+		if p.pass == 2 {
+			vals := make([]uint64, len(args))
+			for i, a := range args {
+				v, err := p.immediate(a)
+				if err != nil {
+					return err
+				}
+				vals[i] = uint64(v)
+			}
+			data := make([]byte, 8*len(vals))
+			for i, v := range vals {
+				for j := 0; j < 8; j++ {
+					data[i*8+j] = byte(v >> (8 * j))
+				}
+			}
+			p.segs = append(p.segs, Segment{Addr: p.data, Data: data})
+		}
+		p.data += 8 * uint64(len(args))
+		return nil
+	case ".byte":
+		args := splitArgs(rest)
+		if p.pass == 2 {
+			data := make([]byte, len(args))
+			for i, a := range args {
+				v, err := p.immediate(a)
+				if err != nil {
+					return err
+				}
+				data[i] = byte(v)
+			}
+			p.segs = append(p.segs, Segment{Addr: p.data, Data: data})
+		}
+		p.data += uint64(len(args))
+		return nil
+	case ".ascii":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return fmt.Errorf(".ascii: %v", err)
+		}
+		if p.pass == 2 {
+			p.segs = append(p.segs, Segment{Addr: p.data, Data: []byte(s)})
+		}
+		p.data += uint64(len(s))
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", dir)
+}
+
+// immediate evaluates an integer literal or symbol.  During pass one symbols
+// may be unresolved; zero is substituted (only sizes matter in pass one).
+func (p *parser) immediate(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("missing immediate")
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, strings.TrimSpace(s[1:])
+	}
+	var v int64
+	if u, err := strconv.ParseUint(s, 0, 64); err == nil {
+		v = int64(u)
+	} else if isIdent(s) {
+		sym, ok := p.syms[s]
+		if !ok {
+			if p.pass == 1 {
+				return 0, nil
+			}
+			return 0, fmt.Errorf("undefined symbol %q", s)
+		}
+		v = int64(sym)
+	} else {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// memOperand parses "[base]", "[base + off]", "[base + idx*scale]",
+// "[base + idx*scale + off]"; off may be negative or symbolic.
+func (p *parser) memOperand(s string) (base, idx isa.Reg, scale uint8, imm int64, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	// Normalise "a - b" to "a + -b" so we can split on '+'.
+	inner = strings.ReplaceAll(inner, "-", "+ -")
+	parts := strings.Split(inner, "+")
+	first := true
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		switch {
+		case first:
+			base, err = isa.ParseReg(part)
+			if err != nil {
+				return
+			}
+			first = false
+		case strings.Contains(part, "*"):
+			var r isa.Reg
+			var sc int64
+			sub := strings.SplitN(part, "*", 2)
+			r, err = isa.ParseReg(strings.TrimSpace(sub[0]))
+			if err != nil {
+				return
+			}
+			sc, err = p.immediate(sub[1])
+			if err != nil {
+				return
+			}
+			switch sc {
+			case 1, 2, 4, 8, 16:
+				scale = uint8(log2(uint64(sc)))
+			default:
+				err = fmt.Errorf("bad scale %d", sc)
+				return
+			}
+			idx = r
+		default:
+			if r, rerr := isa.ParseReg(part); rerr == nil && !strings.HasPrefix(part, "-") {
+				if idx != isa.NoReg {
+					err = fmt.Errorf("two index registers in %q", s)
+					return
+				}
+				idx = r // [base + idx] with scale 1
+				continue
+			}
+			var v int64
+			v, err = p.immediate(part)
+			if err != nil {
+				return
+			}
+			imm += v
+		}
+	}
+	if first {
+		err = fmt.Errorf("memory operand %q has no base register", s)
+	}
+	return
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func (p *parser) instruction(line string) error {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+
+	// Pseudo-instruction: mov rd, rs.
+	if mnemonic == "mov" {
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return fmt.Errorf("mov wants 2 operands")
+		}
+		rd, err := isa.ParseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := isa.ParseReg(args[1])
+		if err != nil {
+			return err
+		}
+		p.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs})
+		return nil
+	}
+
+	op, ok := isa.OpcodeByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := splitArgs(rest)
+	in := isa.Inst{Op: op}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	var err error
+	switch op.Kind() {
+	case isa.KindALU:
+		switch op {
+		case isa.MOVI:
+			if err = need(2); err != nil {
+				return err
+			}
+			if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+				return err
+			}
+			if in.Imm, err = p.immediate(args[1]); err != nil {
+				return err
+			}
+		case isa.FMOVI:
+			if err = need(2); err != nil {
+				return err
+			}
+			if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+				return err
+			}
+			f, ferr := strconv.ParseFloat(strings.TrimSpace(args[1]), 64)
+			if ferr != nil {
+				return fmt.Errorf("fmovi: %v", ferr)
+			}
+			in.Imm = int64(math.Float64bits(f))
+		case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+			if err = need(3); err != nil {
+				return err
+			}
+			if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+				return err
+			}
+			if in.Rs1, err = isa.ParseReg(args[1]); err != nil {
+				return err
+			}
+			if in.Imm, err = p.immediate(args[2]); err != nil {
+				return err
+			}
+		default:
+			if err = need(3); err != nil {
+				return err
+			}
+			if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+				return err
+			}
+			if in.Rs1, err = isa.ParseReg(args[1]); err != nil {
+				return err
+			}
+			if in.Rs2, err = isa.ParseReg(args[2]); err != nil {
+				return err
+			}
+		}
+	case isa.KindLoad:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			return err
+		}
+		if in.Rs1, in.Rs2, in.Scale, in.Imm, err = p.memOperand(args[1]); err != nil {
+			return err
+		}
+	case isa.KindStore:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rs1, in.Rs2, in.Scale, in.Imm, err = p.memOperand(args[0]); err != nil {
+			return err
+		}
+		if in.Rs3, err = isa.ParseReg(args[1]); err != nil {
+			return err
+		}
+	case isa.KindBranch:
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Rs1, err = isa.ParseReg(args[0]); err != nil {
+			return err
+		}
+		if in.Rs2, err = isa.ParseReg(args[1]); err != nil {
+			return err
+		}
+		t, terr := p.immediate(args[2])
+		if terr != nil {
+			return terr
+		}
+		in.Target = uint64(t)
+	case isa.KindJump, isa.KindCall:
+		if err = need(1); err != nil {
+			return err
+		}
+		t, terr := p.immediate(args[0])
+		if terr != nil {
+			return terr
+		}
+		in.Target = uint64(t)
+	case isa.KindJumpR, isa.KindCallR:
+		if err = need(1); err != nil {
+			return err
+		}
+		if in.Rs1, err = isa.ParseReg(args[0]); err != nil {
+			return err
+		}
+	case isa.KindFlush:
+		if err = need(1); err != nil {
+			return err
+		}
+		if in.Rs1, in.Rs2, in.Scale, in.Imm, err = p.memOperand(args[0]); err != nil {
+			return err
+		}
+	case isa.KindRDTSC:
+		if err = need(1); err != nil {
+			return err
+		}
+		if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			return err
+		}
+	case isa.KindRet, isa.KindNop, isa.KindFence, isa.KindHalt:
+		if err = need(0); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("cannot assemble %s", op)
+	}
+	p.emit(in)
+	return nil
+}
+
+func (p *parser) emit(in isa.Inst) {
+	if p.pass == 2 {
+		p.insts = append(p.insts, in)
+	}
+	p.pc += isa.InstBytes
+}

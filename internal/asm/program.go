@@ -1,0 +1,92 @@
+// Package asm provides the tooling for writing programs for the simulated
+// processor: an in-memory program representation, a fluent builder API used
+// by the attack-gadget and workload generators, and a two-pass text
+// assembler for hand-written programs.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specrun/internal/isa"
+	"specrun/internal/mem"
+)
+
+// Segment is a chunk of initialised data.
+type Segment struct {
+	Addr uint64
+	Data []byte
+}
+
+// Program is an assembled program: decoded instructions at Base, initialised
+// data segments, and a symbol table.
+type Program struct {
+	Base     uint64
+	Insts    []isa.Inst
+	Segments []Segment
+	Symbols  map[string]uint64
+}
+
+// InstAt returns the instruction at pc, if pc lies inside the program text
+// and is instruction-aligned.
+func (p *Program) InstAt(pc uint64) (isa.Inst, bool) {
+	if pc < p.Base || (pc-p.Base)%isa.InstBytes != 0 {
+		return isa.Inst{}, false
+	}
+	idx := (pc - p.Base) / isa.InstBytes
+	if idx >= uint64(len(p.Insts)) {
+		return isa.Inst{}, false
+	}
+	return p.Insts[idx], true
+}
+
+// End returns the first byte address past the program text.
+func (p *Program) End() uint64 {
+	return p.Base + uint64(len(p.Insts))*isa.InstBytes
+}
+
+// Sym looks up a symbol.
+func (p *Program) Sym(name string) (uint64, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// MustSym looks up a symbol and panics if it is undefined.  Experiment
+// drivers use it for addresses they themselves defined.
+func (p *Program) MustSym(name string) uint64 {
+	v, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: undefined symbol %q", name))
+	}
+	return v
+}
+
+// LoadInto writes the program's data segments into a memory image.
+// Instruction memory is fetched from the Program directly (decoupled
+// functional/timing model), so text is not copied.
+func (p *Program) LoadInto(m *mem.Memory) {
+	for _, s := range p.Segments {
+		m.SetBytes(s.Addr, s.Data)
+	}
+}
+
+// Disassemble renders the program text with addresses and symbol markers.
+func (p *Program) Disassemble() string {
+	byAddr := make(map[uint64][]string)
+	for name, addr := range p.Symbols {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	for _, names := range byAddr {
+		sort.Strings(names)
+	}
+	var b strings.Builder
+	for i, in := range p.Insts {
+		pc := p.Base + uint64(i)*isa.InstBytes
+		for _, name := range byAddr[pc] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  %#08x  %s\n", pc, in)
+	}
+	return b.String()
+}

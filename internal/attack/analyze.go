@@ -1,0 +1,96 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"specrun/internal/cpu"
+)
+
+// Analysis interprets one probe sweep (the data behind Fig. 9 / Fig. 11).
+type Analysis struct {
+	Latencies []uint64
+	BestIdx   int    // index with the fastest access
+	BestLat   uint64 // its latency
+	Median    uint64 // median across all indices
+	Leaked    bool   // BestLat is an outlier hit: the covert channel fired
+}
+
+// hitFactor: an index counts as leaked if its latency is below median/hitFactor.
+const hitFactor = 3
+
+// Analyze classifies a probe sweep.
+func Analyze(lat []uint64) Analysis {
+	a := Analysis{Latencies: lat, BestIdx: -1}
+	if len(lat) == 0 {
+		return a
+	}
+	sorted := append([]uint64(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	a.Median = sorted[len(sorted)/2]
+	best := uint64(1<<63 - 1)
+	for i, v := range lat {
+		if v < best {
+			best, a.BestIdx = v, i
+		}
+	}
+	a.BestLat = best
+	a.Leaked = a.Median > 0 && best < a.Median/hitFactor
+	return a
+}
+
+// LeakedByte returns the recovered byte if the channel fired.
+func (a Analysis) LeakedByte() (byte, bool) {
+	if !a.Leaked || a.BestIdx < 0 {
+		return 0, false
+	}
+	return byte(a.BestIdx), true
+}
+
+// Result is one full PoC run.
+type Result struct {
+	Analysis
+	Layout Layout
+	Stats  cpu.Stats
+}
+
+// runBudget bounds one PoC simulation.
+const runBudget = 10_000_000
+
+// Run builds and executes the PoC on a machine with configuration cfg.
+func Run(cfg cpu.Config, p Params) (Result, error) {
+	prog, l, err := Build(p)
+	if err != nil {
+		return Result{}, err
+	}
+	c := cpu.New(cfg, prog)
+	if err := c.Run(runBudget); err != nil {
+		return Result{}, fmt.Errorf("attack: %s run: %w", p.Variant, err)
+	}
+	return Result{
+		Analysis: Analyze(ReadLatencies(c, l)),
+		Layout:   l,
+		Stats:    *c.Stats(),
+	}, nil
+}
+
+// LeakSecret extracts every byte of p.Secret by re-running the PoC with an
+// advancing target address, as the paper's attacker would.  It returns the
+// recovered bytes (0 where the channel failed) and the per-byte results.
+func LeakSecret(cfg cpu.Config, p Params) ([]byte, []Result, error) {
+	out := make([]byte, len(p.Secret))
+	results := make([]Result, len(p.Secret))
+	for i := range p.Secret {
+		q := p
+		q.SecretIdx = i
+		r, err := Run(cfg, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[i] = r
+		if v, ok := r.LeakedByte(); ok {
+			out[i] = v
+		}
+	}
+	return out, results, nil
+}

@@ -1,0 +1,222 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoBitCounterSaturation(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	_, idx := p.PredictCond(pc)
+	for i := 0; i < 10; i++ {
+		p.TrainCond(idx, true)
+	}
+	if p.CounterAt(idx) != 3 {
+		t.Fatalf("counter = %d, want saturated 3", p.CounterAt(idx))
+	}
+	for i := 0; i < 10; i++ {
+		p.TrainCond(idx, false)
+	}
+	if p.CounterAt(idx) != 0 {
+		t.Fatalf("counter = %d, want saturated 0", p.CounterAt(idx))
+	}
+}
+
+// The SpectrePHT training primitive: after T taken-trainings of a branch, the
+// next prediction with the same history must be taken.
+func TestPHTTraining(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x2000)
+	var idx int
+	// The global history register shifts with every training iteration, so
+	// the trained PHT index only stabilises once the history saturates to
+	// all-taken; train well past the history width, as the attacker's
+	// training loop does.
+	for i := 0; i < 2*DefaultConfig().HistoryBits; i++ {
+		p.SyncToCommitted()
+		_, idx = p.PredictCond(pc)
+		p.TrainCond(idx, true)
+		p.CommitCond(true)
+	}
+	p.SyncToCommitted()
+	taken, _ := p.PredictCond(pc)
+	if !taken {
+		t.Fatal("trained branch must predict taken")
+	}
+}
+
+func TestGHRShiftAndMask(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HistoryBits = 4
+	p := New(cfg)
+	for i := 0; i < 8; i++ {
+		p.PredictCond(0x1000) // weakly not-taken: shifts in 0
+	}
+	if p.GHR() != 0 {
+		t.Fatalf("GHR = %b, want 0", p.GHR())
+	}
+	idx := p.phtIndex(0x1000)
+	p.pht[idx] = 3
+	p.PredictCond(0x1000)
+	if p.GHR() != 1 {
+		t.Fatalf("GHR = %b, want 1", p.GHR())
+	}
+	if p.GHR() >= 1<<4 {
+		t.Fatal("GHR exceeded its width")
+	}
+}
+
+func TestBTBTrainAndAlias(t *testing.T) {
+	p := New(DefaultConfig())
+	src := uint64(0x4000)
+	if _, ok := p.PredictIndirect(src); ok {
+		t.Fatal("cold BTB must miss")
+	}
+	p.TrainBTB(src, 0x5000)
+	tgt, ok := p.PredictIndirect(src)
+	if !ok || tgt != 0x5000 {
+		t.Fatalf("BTB = %#x,%v want 0x5000", tgt, ok)
+	}
+	// SpectreBTB aliasing: an attacker PC congruent modulo BTBSets*4 maps to
+	// the same set; with a matching tag scheme (full PC here) the attacker
+	// instead trains its own entry, but set pressure can evict the victim's.
+	alias := src + uint64(DefaultConfig().BTBSets*4)
+	for i := 0; i < DefaultConfig().BTBAssoc; i++ {
+		p.TrainBTB(alias+uint64(i)*uint64(DefaultConfig().BTBSets*4), 0x6000)
+	}
+	if _, ok := p.PredictIndirect(src); ok {
+		t.Fatal("victim entry must be evicted by set pressure")
+	}
+}
+
+func TestRSBLIFO(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushRSB(0x100)
+	p.PushRSB(0x200)
+	p.PushRSB(0x300)
+	for _, want := range []uint64{0x300, 0x200, 0x100} {
+		if got := p.PopRSB(); got != want {
+			t.Fatalf("PopRSB = %#x, want %#x", got, want)
+		}
+	}
+}
+
+func TestRSBWrapsOnOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RSBSize = 4
+	p := New(cfg)
+	for i := 1; i <= 6; i++ {
+		p.PushRSB(uint64(i * 0x10))
+	}
+	// Entries 1 and 2 were overwritten by 5 and 6.
+	for _, want := range []uint64{0x60, 0x50, 0x40, 0x30, 0x60, 0x50} {
+		if got := p.PopRSB(); got != want {
+			t.Fatalf("PopRSB = %#x, want %#x (circular wrap)", got, want)
+		}
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushRSB(0xaaa)
+	p.PredictCond(0x1000)
+	cp := p.Checkpoint()
+	ghr := p.GHR()
+
+	// Speculate down a wrong path: more history shifts, RSB abuse.
+	p.PredictCond(0x2000)
+	p.PopRSB()
+	p.PushRSB(0xbbb)
+
+	p.Restore(cp)
+	if p.GHR() != ghr {
+		t.Fatal("GHR not restored")
+	}
+	if got := p.PopRSB(); got != 0xaaa {
+		t.Fatalf("RSB top after restore = %#x, want 0xaaa", got)
+	}
+}
+
+func TestSyncToCommitted(t *testing.T) {
+	p := New(DefaultConfig())
+	p.CommitCond(true)
+	p.CommitCond(false)
+	p.CommitCall(0x1234)
+	// Speculative state diverges.
+	p.PredictCond(0x1000)
+	p.PushRSB(0x9999)
+	p.PushRSB(0x8888)
+
+	p.SyncToCommitted()
+	if p.GHR() != 0b10 {
+		t.Fatalf("GHR = %b, want 10", p.GHR())
+	}
+	if got := p.PopRSB(); got != 0x1234 {
+		t.Fatalf("RSB after sync = %#x, want 0x1234", got)
+	}
+}
+
+// Property: counters stay within [0,3] under arbitrary training sequences.
+func TestQuickCounterBounds(t *testing.T) {
+	p := New(DefaultConfig())
+	f := func(pc uint64, trains []bool) bool {
+		_, idx := p.PredictCond(pc % (1 << 20))
+		for _, up := range trains {
+			p.TrainCond(idx, up)
+			if p.CounterAt(idx) > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Checkpoint/Restore is an exact round trip for GHR and RSB under
+// random interleavings.
+func TestQuickCheckpointRoundTrip(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		// Random pre-state.
+		for i := 0; i < rng.Intn(8); i++ {
+			p.PushRSB(rng.Uint64())
+		}
+		cp := p.Checkpoint()
+		wantGHR := p.GHR()
+		wantPops := make([]uint64, 4)
+		probe := p.Checkpoint()
+		p.Restore(probe)
+		for i := range wantPops {
+			wantPops[i] = p.PopRSB()
+		}
+		p.Restore(probe)
+
+		// Wrong-path damage.
+		for i := 0; i < rng.Intn(20); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				p.PredictCond(rng.Uint64() % (1 << 20))
+			case 1:
+				p.PushRSB(rng.Uint64())
+			case 2:
+				p.PopRSB()
+			}
+		}
+
+		p.Restore(cp)
+		if p.GHR() != wantGHR {
+			t.Fatalf("trial %d: GHR not restored", trial)
+		}
+		for i := range wantPops {
+			if got := p.PopRSB(); got != wantPops[i] {
+				t.Fatalf("trial %d: pop %d = %#x, want %#x", trial, i, got, wantPops[i])
+			}
+		}
+		p.Restore(cp)
+	}
+}

@@ -1,0 +1,241 @@
+// Package core is the public face of the SPECRUN reproduction: a Machine
+// wrapper around the cycle-level CPU model, the Table 1 default
+// configuration, and one driver per experiment in the paper's evaluation
+// (Fig. 7, Fig. 9, Fig. 10, Fig. 11, the §4.3/§4.4 variants and the §6
+// defense).  Command-line tools, examples and benchmarks all go through
+// this package.
+package core
+
+import (
+	"fmt"
+
+	"specrun/internal/asm"
+	"specrun/internal/attack"
+	"specrun/internal/cpu"
+	"specrun/internal/runahead"
+	"specrun/internal/workload"
+)
+
+// Config is the machine configuration (re-exported from the CPU model).
+type Config = cpu.Config
+
+// DefaultConfig returns the Table 1 processor with original runahead.
+func DefaultConfig() Config { return cpu.DefaultConfig() }
+
+// BaselineConfig returns the Table 1 processor with runahead disabled.
+func BaselineConfig() Config {
+	cfg := cpu.DefaultConfig()
+	cfg.Runahead.Kind = runahead.KindNone
+	return cfg
+}
+
+// SecureConfig returns the Table 1 processor with the §6 SL-cache defense.
+func SecureConfig() Config {
+	cfg := cpu.DefaultConfig()
+	cfg.Secure.Enabled = true
+	return cfg
+}
+
+// VariantConfig returns the Table 1 processor running a runahead variant.
+func VariantConfig(kind runahead.Kind) Config {
+	cfg := cpu.DefaultConfig()
+	cfg.Runahead.Kind = kind
+	return cfg
+}
+
+// Machine is one simulated processor instance executing one program.
+type Machine struct {
+	*cpu.CPU
+	Prog *asm.Program
+}
+
+// NewMachine builds a machine running prog.
+func NewMachine(cfg Config, prog *asm.Program) *Machine {
+	return &Machine{CPU: cpu.New(cfg, prog), Prog: prog}
+}
+
+// defaultBudget bounds experiment simulations.
+const defaultBudget = 50_000_000
+
+// RunProgram executes prog to completion on a fresh machine and returns it.
+func RunProgram(cfg Config, prog *asm.Program) (*Machine, error) {
+	m := NewMachine(cfg, prog)
+	if err := m.Run(defaultBudget); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// IPCRow is one bar pair of Fig. 7.
+type IPCRow struct {
+	Name        string
+	Cycles      [2]uint64 // [no-runahead, runahead]
+	Insts       uint64
+	IPC         [2]float64
+	Episodes    uint64
+	Speedup     float64 // IPC[1]/IPC[0]
+	Description string
+}
+
+// RunIPCComparison reproduces Fig. 7: every workload kernel on the baseline
+// and the runahead machine, reporting normalized IPC.
+func RunIPCComparison(base Config) ([]IPCRow, error) {
+	raCfg := base
+	if raCfg.Runahead.Kind == runahead.KindNone {
+		raCfg.Runahead.Kind = runahead.KindOriginal
+	}
+	noCfg := base
+	noCfg.Runahead.Kind = runahead.KindNone
+
+	var rows []IPCRow
+	for _, k := range workload.Kernels() {
+		row := IPCRow{Name: k.Name, Description: k.Descr}
+		for i, cfg := range []Config{noCfg, raCfg} {
+			m, err := RunProgram(cfg, k.Build())
+			if err != nil {
+				return nil, fmt.Errorf("core: %s (%d): %w", k.Name, i, err)
+			}
+			st := m.Stats()
+			row.Cycles[i] = st.Cycles
+			row.Insts = st.Committed
+			row.IPC[i] = st.IPC()
+			if i == 1 {
+				row.Episodes = st.RunaheadEpisodes
+			}
+		}
+		row.Speedup = row.IPC[1] / row.IPC[0]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MeanSpeedup returns the geometric-mean runahead speedup of a Fig. 7 run.
+func MeanSpeedup(rows []IPCRow) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, r := range rows {
+		prod *= r.Speedup
+	}
+	return pow(prod, 1.0/float64(len(rows)))
+}
+
+func pow(x, y float64) float64 {
+	// Tiny wrapper to keep math import localised.
+	return mathPow(x, y)
+}
+
+// AttackResult re-exports the attack outcome type.
+type AttackResult = attack.Result
+
+// RunAttack executes one PoC variant on the given machine configuration.
+func RunAttack(cfg Config, p attack.Params) (AttackResult, error) {
+	return attack.Run(attack.ConfigFor(p.Variant, cfg), p)
+}
+
+// RunFig9 reproduces Fig. 9: the PHT PoC on the runahead machine with
+// secret byte 86.
+func RunFig9(cfg Config) (AttackResult, error) {
+	return RunAttack(cfg, attack.DefaultParams())
+}
+
+// Fig11Result pairs the two machines of Fig. 11.
+type Fig11Result struct {
+	Runahead   AttackResult
+	NoRunahead AttackResult
+}
+
+// RunFig11 reproduces Fig. 11: the nop-padded gadget (secret access beyond
+// the ROB, secret byte 127) on a no-runahead and a runahead machine.
+func RunFig11(cfg Config) (Fig11Result, error) {
+	p := attack.DefaultParams()
+	p.Secret = []byte{127}
+	p.NopPad = 300
+
+	ra, err := RunAttack(cfg, p)
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	no := cfg
+	no.Runahead.Kind = runahead.KindNone
+	noR, err := RunAttack(no, p)
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	return Fig11Result{Runahead: ra, NoRunahead: noR}, nil
+}
+
+// RunFig10 reproduces the N1/N2/N3 window measurements.
+func RunFig10(cfg Config) (n1, n2, n3 attack.WindowResult, err error) {
+	return attack.MeasureAllWindows(cfg)
+}
+
+// DefenseResult compares the attack under the vulnerable and secure machines.
+type DefenseResult struct {
+	Vulnerable AttackResult
+	Secure     AttackResult
+	SkipINV    AttackResult
+}
+
+// RunDefense reproduces the §6 evaluation: the Fig. 11 attack against the
+// vulnerable runahead machine, the SL-cache machine and the skip-INV-branch
+// restriction.
+func RunDefense(cfg Config) (DefenseResult, error) {
+	p := attack.DefaultParams()
+	p.Secret = []byte{127}
+	p.NopPad = 300
+
+	var out DefenseResult
+	var err error
+	if out.Vulnerable, err = RunAttack(cfg, p); err != nil {
+		return out, err
+	}
+	sec := cfg
+	sec.Secure.Enabled = true
+	if out.Secure, err = RunAttack(sec, p); err != nil {
+		return out, err
+	}
+	skip := cfg
+	skip.Runahead.SkipINVBranch = true
+	out.SkipINV, err = RunAttack(skip, p)
+	return out, err
+}
+
+// VariantOutcome is one row of the §4.3/§4.4 applicability matrix.
+type VariantOutcome struct {
+	Label  string
+	Result AttackResult
+}
+
+// RunVariantMatrix runs the PoC across Spectre variants (§4.4) and runahead
+// variants (§4.3).
+func RunVariantMatrix(cfg Config) ([]VariantOutcome, error) {
+	var out []VariantOutcome
+	// Spectre variants on original runahead.
+	for _, v := range []attack.Variant{attack.VariantPHT, attack.VariantBTB, attack.VariantRSBOverwrite, attack.VariantRSBFlush} {
+		p := attack.DefaultParams()
+		p.Variant = v
+		if v == attack.VariantPHT || v == attack.VariantBTB {
+			p.NopPad = 300
+		}
+		r, err := RunAttack(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, VariantOutcome{Label: "spectre-" + v.String(), Result: r})
+	}
+	// Runahead variants with the PHT attack.
+	for _, k := range []runahead.Kind{runahead.KindPrecise, runahead.KindVector} {
+		p := attack.DefaultParams()
+		p.NopPad = 300
+		c := cfg
+		c.Runahead.Kind = k
+		r, err := RunAttack(c, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, VariantOutcome{Label: "runahead-" + k.String(), Result: r})
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"specrun/internal/attack"
+)
+
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+// Table1 renders the simulated processor configuration in the shape of the
+// paper's Table 1.
+func Table1(cfg Config) string {
+	var b strings.Builder
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-18s %s\n", k, v) }
+	b.WriteString("Table 1: processor configuration\n")
+	row("Core", "2GHz, out-of-order")
+	row("Width", fmt.Sprintf("%d-wide fetch/decode/dispatch/commit", cfg.FetchWidth))
+	row("Pipeline depth", fmt.Sprintf("%d front-end stages", cfg.FrontEndDepth))
+	row("Branch predictor", fmt.Sprintf("two-level adaptive (%d-bit history, %d-entry PHT, %dx%d BTB, %d-entry RSB)",
+		cfg.Branch.HistoryBits, cfg.Branch.PHTSize, cfg.Branch.BTBSets, cfg.Branch.BTBAssoc, cfg.Branch.RSBSize))
+	row("Functional units", fmt.Sprintf("%d int add (1 cyc), %d int mult (2 cyc), %d int div (5 cyc), %d fp add (5 cyc), %d fp mult (10 cyc), %d fp div (15 cyc)",
+		cfg.IntALU, cfg.IntMul, cfg.IntDiv, cfg.FPAdd, cfg.FPMul, cfg.FPDiv))
+	row("Register file", fmt.Sprintf("%d int, %d fp, %d xmm", cfg.IntPRF, cfg.FPPRF, cfg.VecPRF))
+	row("ROB", fmt.Sprintf("%d entries", cfg.ROBSize))
+	row("Queues", fmt.Sprintf("i (%d), load (%d), store (%d)", cfg.IQSize, cfg.LQSize, cfg.SQSize))
+	row("L1 I-cache", fmt.Sprintf("%dKB, %d way, %d cycle", cfg.Mem.L1I.Size>>10, cfg.Mem.L1I.Assoc, cfg.Mem.L1I.Latency))
+	row("L1 D-cache", fmt.Sprintf("%dKB, %d way, %d cycle", cfg.Mem.L1D.Size>>10, cfg.Mem.L1D.Assoc, cfg.Mem.L1D.Latency))
+	row("L2 cache", fmt.Sprintf("%dKB, %d way, %d cycle", cfg.Mem.L2.Size>>10, cfg.Mem.L2.Assoc, cfg.Mem.L2.Latency))
+	row("L3 cache", fmt.Sprintf("%dMB, %d way, %d cycle", cfg.Mem.L3.Size>>20, cfg.Mem.L3.Assoc, cfg.Mem.L3.Latency))
+	row("Memory", fmt.Sprintf("request-based contention model, %d cycle", cfg.Mem.MemLatency))
+	row("Runahead", cfg.Runahead.Kind.String())
+	return b.String()
+}
+
+// FormatIPC renders a Fig. 7 run as a table, normalised to the no-runahead
+// machine (the paper's "normalized IPC").
+func FormatIPC(rows []IPCRow) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7: normalized IPC (no-runahead = 1.00)\n")
+	fmt.Fprintf(&b, "  %-8s %10s %10s %10s %9s %9s\n", "bench", "insts", "cyc(base)", "cyc(ra)", "IPC ratio", "episodes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %10d %10d %10d %9.3f %9d\n",
+			r.Name, r.Insts, r.Cycles[0], r.Cycles[1], r.Speedup, r.Episodes)
+	}
+	fmt.Fprintf(&b, "  mean speedup: %.1f%% (paper: ~11%%)\n", (MeanSpeedup(rows)-1)*100)
+	return b.String()
+}
+
+// FormatProbe renders a probe sweep as an ASCII version of Fig. 9/11.
+func FormatProbe(r AttackResult, height int) string {
+	if height <= 0 {
+		height = 12
+	}
+	lat := r.Latencies
+	var max uint64
+	for _, v := range lat {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return "(no data)\n"
+	}
+	// Bucket 256 indices into 64 columns, keeping each bucket's minimum so
+	// the dip stays visible.
+	const cols = 64
+	per := (len(lat) + cols - 1) / cols
+	mins := make([]uint64, 0, cols)
+	for i := 0; i < len(lat); i += per {
+		m := lat[i]
+		for j := i; j < i+per && j < len(lat); j++ {
+			if lat[j] < m {
+				m = lat[j]
+			}
+		}
+		mins = append(mins, m)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "access time (cycles) vs probe index; min=%d at %d, median=%d\n", r.BestLat, r.BestIdx, r.Median)
+	for row := height; row > 0; row-- {
+		cut := uint64(row) * max / uint64(height)
+		b.WriteString("  |")
+		for _, v := range mins {
+			if v >= cut {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +")
+	b.WriteString(strings.Repeat("-", len(mins)))
+	b.WriteString("\n   0")
+	if pad := len(mins) - 8; pad > 0 {
+		b.WriteString(strings.Repeat(" ", pad))
+	}
+	b.WriteString("255\n")
+	if idx, ok := r.LeakedByte(); ok {
+		fmt.Fprintf(&b, "  leaked value: %d (%q)\n", idx, string(rune(idx)))
+	} else {
+		b.WriteString("  no leak detected\n")
+	}
+	return b.String()
+}
+
+// FormatWindows renders the Fig. 10 measurements.
+func FormatWindows(n1, n2, n3 attack.WindowResult) string {
+	var b strings.Builder
+	b.WriteString("Fig. 10: transient window size (ROB = 256 entries)\n")
+	fmt.Fprintf(&b, "  N1 %-28s %5d  (paper: 255)\n", n1.Scenario, n1.N)
+	fmt.Fprintf(&b, "  N2 %-28s %5d  (paper: 480)\n", n2.Scenario, n2.N)
+	fmt.Fprintf(&b, "  N3 %-28s %5d  (paper: 840)\n", n3.Scenario, n3.N)
+	return b.String()
+}
+
+// FormatDefense renders the §6 comparison.
+func FormatDefense(d DefenseResult) string {
+	var b strings.Builder
+	b.WriteString("§6 defense evaluation (Fig. 11 attack, secret = 127)\n")
+	line := func(name string, r AttackResult) {
+		if v, ok := r.LeakedByte(); ok {
+			fmt.Fprintf(&b, "  %-22s LEAKED byte %d (lat %d vs median %d)\n", name, v, r.BestLat, r.Median)
+		} else {
+			fmt.Fprintf(&b, "  %-22s no leak (min lat %d, median %d)\n", name, r.BestLat, r.Median)
+		}
+	}
+	line("vulnerable runahead", d.Vulnerable)
+	line("SL cache (Alg. 1)", d.Secure)
+	line("skip INV branches", d.SkipINV)
+	return b.String()
+}
+
+// FormatVariants renders the §4.3/§4.4 applicability matrix.
+func FormatVariants(rows []VariantOutcome) string {
+	var b strings.Builder
+	b.WriteString("attack applicability matrix (§4.3 / §4.4)\n")
+	for _, r := range rows {
+		status := "no leak"
+		if v, ok := r.Result.LeakedByte(); ok {
+			status = fmt.Sprintf("leaked byte %d", v)
+		}
+		fmt.Fprintf(&b, "  %-24s %s (episodes %d, INV branches %d)\n",
+			r.Label, status, r.Result.Stats.RunaheadEpisodes, r.Result.Stats.INVBranches)
+	}
+	return b.String()
+}

@@ -1,0 +1,445 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"specrun/internal/asm"
+	"specrun/internal/isa"
+	"specrun/internal/iss"
+	"specrun/internal/mem"
+	"specrun/internal/proggen"
+	"specrun/internal/runahead"
+)
+
+const testBudget = 2_000_000
+
+func runCPU(t *testing.T, cfg Config, src string) *CPU {
+	t.Helper()
+	p, err := asm.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg, p)
+	if err := c.Run(testBudget); err != nil {
+		t.Fatalf("cpu run: %v", err)
+	}
+	return c
+}
+
+func noRunaheadConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Runahead.Kind = runahead.KindNone
+	return cfg
+}
+
+func TestBasicALUProgram(t *testing.T) {
+	c := runCPU(t, DefaultConfig(), `
+		movi r1, 7
+		movi r2, 3
+		add  r3, r1, r2
+		mul  r4, r1, r2
+		halt`)
+	if c.IntReg(3) != 10 || c.IntReg(4) != 21 {
+		t.Fatalf("r3=%d r4=%d", c.IntReg(3), c.IntReg(4))
+	}
+	if !c.Halted() {
+		t.Fatal("not halted")
+	}
+}
+
+func TestLoopProgram(t *testing.T) {
+	c := runCPU(t, DefaultConfig(), `
+		movi r1, 100
+		movi r2, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt`)
+	if c.IntReg(2) != 5050 {
+		t.Fatalf("sum = %d, want 5050", c.IntReg(2))
+	}
+	s := c.Stats()
+	if s.CondBranches < 100 {
+		t.Fatalf("committed %d branches, want >= 100", s.CondBranches)
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	c := runCPU(t, DefaultConfig(), `
+		.data 0x100000
+		buf: .zero 64
+		start:
+		movi r1, buf
+		movi r2, 0xabcd
+		st   [r1 + 0], r2
+		ld   r3, [r1 + 0]    ; must forward from the store queue
+		ldb  r4, [r1 + 1]    ; byte extract from the forwarded word
+		halt`)
+	if c.IntReg(3) != 0xabcd {
+		t.Fatalf("r3 = %#x", c.IntReg(3))
+	}
+	if c.IntReg(4) != 0xab {
+		t.Fatalf("r4 = %#x", c.IntReg(4))
+	}
+}
+
+func TestCallRetProgram(t *testing.T) {
+	c := runCPU(t, DefaultConfig(), `
+		.data 0x100000
+		stack: .zero 512
+		start:
+		movi sp, stack
+		addi sp, sp, 512
+		movi r1, 5
+		call f
+		call f
+		halt
+	f:
+		add r1, r1, r1
+		ret`)
+	if c.IntReg(1) != 20 {
+		t.Fatalf("r1 = %d, want 20", c.IntReg(1))
+	}
+}
+
+// The Spectre primitive: a load executed down a mispredicted path must leave
+// its line in the cache after the squash.
+func TestWrongPathLoadFillsCache(t *testing.T) {
+	// The victim branch is a bounds check; training runs the same static
+	// branch (the PHT is PC-indexed) with an in-bounds index, then the
+	// attack run makes the predicate false but slow to resolve (flushed),
+	// so the trained not-taken prediction opens a wide transient window.
+	src := `
+		.data 0x100000
+		dvar: .u64 1
+		.align 64
+		probe: .zero 1024
+		start:
+		movi r1, probe
+		movi r9, dvar
+		movi r3, 0          ; in-bounds index for training
+		movi r4, 30
+	victim:
+		ld   r2, [r9 + 0]   ; bound = 1
+		bge  r3, r2, skip   ; "index >= bound" -> skip body
+		shli r6, r3, 6
+		ldx  r5, [r1 + r6*1 + 0]  ; body: probe[index*64]
+	skip:
+		addi r4, r4, -1
+		bne  r4, r0, victim
+		bne  r8, r0, end    ; phase 1 already ran: done
+		; attack run: index 5 is out of bounds, predicate load is slow
+		movi r8, 1
+		movi r3, 5
+		movi r4, 1          ; one more trip through the victim
+		clflush [r9 + 0]
+		fence
+		jmp  victim
+	end:
+		halt`
+	// Training touches probe[0] only; the transient run touches
+	// probe[5*64] = probe+320 on the wrong path.
+	c := runCPU(t, noRunaheadConfig(), src)
+	probe := c.prog.MustSym("probe")
+	if !c.Hier().Present(mem.PortD, probe+5*64) {
+		t.Fatal("wrong-path load left no cache trace — the Spectre channel is broken")
+	}
+	// And architecturally r5 must NOT hold the loaded value's side effects:
+	// the wrong path was squashed, so r5 keeps its initial value 0.
+	if c.IntReg(5) != 0 {
+		t.Fatalf("r5 = %d leaked architecturally", c.IntReg(5))
+	}
+	if c.Stats().CondMispredicts == 0 {
+		t.Fatal("expected at least one misprediction")
+	}
+}
+
+const runaheadSrc = `
+	.data 0x100000
+	dvar:  .u64 1234
+	.align 64
+	buf:   .zero 8192
+	start:
+	movi r1, dvar
+	movi r2, buf
+	clflush [r1 + 0]
+	fence
+	ld   r3, [r1 + 0]      ; stalling load: misses to memory
+	ld   r4, [r2 + 0]      ; independent load: prefetched by runahead
+	ld   r5, [r2 + 4096]   ; another independent miss
+	add  r6, r3, r4
+	halt`
+
+func TestRunaheadEntersAndExits(t *testing.T) {
+	c := runCPU(t, DefaultConfig(), runaheadSrc)
+	s := c.Stats()
+	if s.RunaheadEpisodes == 0 {
+		t.Fatal("no runahead episode despite a flushed stalling load")
+	}
+	if c.Mode() != ModeNormal {
+		t.Fatal("machine must exit runahead before halting")
+	}
+	// Architectural result intact.
+	if c.IntReg(3) != 1234 {
+		t.Fatalf("r3 = %d, want 1234", c.IntReg(3))
+	}
+	if s.PseudoRetired == 0 {
+		t.Fatal("runahead pseudo-retired nothing")
+	}
+}
+
+// mlpSrc puts independent miss loads beyond the reach of the ROB: without
+// runahead they serialise behind the stalling load; with runahead the episode
+// pseudo-retires the filler and prefetches them.  This is the MLP benefit
+// runahead execution exists for (§2.1).
+func mlpSrc() string {
+	s := `
+	.data 0x100000
+	dvar:  .u64 1234
+	.align 64
+	buf:   .zero 16384
+	start:
+	movi r1, dvar
+	movi r2, buf
+	movi r7, 2             ; two passes: the first warms the I-cache
+	pass:
+	clflush [r1 + 0]
+	clflush [r2 + 0]
+	clflush [r2 + 4096]
+	clflush [r2 + 8192]
+	fence
+	ld   r3, [r1 + 0]      ; stalling load: misses to memory
+`
+	for i := 0; i < 300; i++ {
+		s += "\tnop\n"
+	}
+	s += `
+	ld   r4, [r2 + 0]      ; beyond the ROB: prefetched only by runahead
+	ld   r5, [r2 + 4096]
+	ld   r6, [r2 + 8192]
+	addi r7, r7, -1
+	bne  r7, r0, pass
+	halt`
+	return s
+}
+
+func TestRunaheadPrefetches(t *testing.T) {
+	src := mlpSrc()
+	pNo := runCPU(t, noRunaheadConfig(), src)
+	pRa := runCPU(t, DefaultConfig(), src)
+	if pRa.Stats().RunaheadEpisodes == 0 {
+		t.Fatal("no episode")
+	}
+	if pRa.Cycle() >= pNo.Cycle() {
+		t.Fatalf("runahead %d cycles, no-runahead %d: prefetching bought nothing",
+			pRa.Cycle(), pNo.Cycle())
+	}
+}
+
+func TestRunaheadArchStateInvariant(t *testing.T) {
+	// Runahead execution must be architecturally invisible: same final state
+	// as the in-order reference.
+	p, err := asm.Parse("t", runaheadSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := iss.New(p)
+	if err := ref.Run(testBudget); err != nil {
+		t.Fatal(err)
+	}
+	c := New(DefaultConfig(), p)
+	if err := c.Run(testBudget); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < isa.NumIntRegs; i++ {
+		if c.IntReg(i) != ref.IntReg[i] {
+			t.Errorf("r%d: cpu %#x, iss %#x", i, c.IntReg(i), ref.IntReg[i])
+		}
+	}
+}
+
+// An INV-source branch during runahead must not resolve: the machine keeps
+// running down the predicted path past it (the SPECRUN window).
+func TestINVBranchUnresolvedInRunahead(t *testing.T) {
+	c := runCPU(t, DefaultConfig(), `
+		.data 0x100000
+		dvar: .u64 100
+		.align 64
+		buf:  .zero 4096
+		start:
+		movi r1, dvar
+		movi r2, buf
+		movi r3, 5
+		clflush [r1 + 0]
+		fence
+		ld   r4, [r1 + 0]    ; stalling load -> INV in runahead
+		blt  r3, r4, taken   ; predicate depends on INV data
+		ld   r5, [r2 + 0]
+		halt
+	taken:
+		ld   r6, [r2 + 1024]
+		halt`)
+	if c.Stats().RunaheadEpisodes == 0 {
+		t.Fatal("no runahead episode")
+	}
+	if c.Stats().INVBranches == 0 {
+		t.Fatal("the INV-source branch was resolved inside runahead")
+	}
+	// Architectural outcome: 5 < 100, so the taken path is correct.
+	if c.IntReg(6) == 0 && c.IntReg(5) == 0 {
+		// both zero is fine (memory is zero); check halted instead
+	}
+	if !c.Halted() {
+		t.Fatal("program did not complete")
+	}
+}
+
+func TestRDTSCMeasuresLatency(t *testing.T) {
+	c := runCPU(t, noRunaheadConfig(), `
+		.data 0x100000
+		buf: .zero 128
+		start:
+		movi r1, buf
+		ld   r2, [r1 + 0]    ; warm the line
+		rdtsc r3
+		ld   r4, [r1 + 0]    ; hit
+		rdtsc r5
+		clflush [r1 + 0]
+		fence
+		rdtsc r6
+		ld   r7, [r1 + 0]    ; miss to memory
+		rdtsc r8
+		halt`)
+	hit := c.IntReg(5) - c.IntReg(3)
+	miss := c.IntReg(8) - c.IntReg(6)
+	if miss < hit+100 {
+		t.Fatalf("hit %d cycles, miss %d cycles: no measurable flush+reload signal", hit, miss)
+	}
+}
+
+func TestFenceSerialises(t *testing.T) {
+	c := runCPU(t, DefaultConfig(), `
+		movi r1, 1
+		fence
+		movi r2, 2
+		halt`)
+	if c.IntReg(1) != 1 || c.IntReg(2) != 2 {
+		t.Fatal("fence broke execution")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	p, err := asm.Parse("t", "movi r1, 0x99999999\njr r1") // jump into nowhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(DefaultConfig(), p)
+	err = c.Run(1_000_000)
+	if err == nil {
+		t.Fatal("expected an error for a program that jumps off the text")
+	}
+}
+
+// differential compares the OoO core against the reference interpreter for
+// one program under one configuration.
+func differential(t *testing.T, seed int64, cfg Config, name string) {
+	t.Helper()
+	prog := proggen.Generate(seed, proggen.DefaultOptions())
+	ref := iss.New(prog)
+	if err := ref.Run(5_000_000); err != nil {
+		t.Fatalf("seed %d: iss: %v", seed, err)
+	}
+	c := New(cfg, prog)
+	if err := c.Run(20_000_000); err != nil {
+		t.Fatalf("seed %d (%s): cpu: %v", seed, name, err)
+	}
+	for i := 0; i < isa.NumIntRegs; i++ {
+		if c.IntReg(i) != ref.IntReg[i] {
+			t.Fatalf("seed %d (%s): r%d = %#x, iss %#x", seed, name, i, c.IntReg(i), ref.IntReg[i])
+		}
+	}
+	for i := 0; i < isa.NumFPRegs; i++ {
+		if c.FPReg(i) != ref.FPReg[i] {
+			t.Fatalf("seed %d (%s): f%d = %#x, iss %#x", seed, name, i, c.FPReg(i), ref.FPReg[i])
+		}
+	}
+	for i := 0; i < isa.NumVecRegs; i++ {
+		if c.VecReg(i) != ref.VecReg[i] {
+			t.Fatalf("seed %d (%s): v%d = %v, iss %v", seed, name, i, c.VecReg(i), ref.VecReg[i])
+		}
+	}
+	buf := prog.MustSym("buf")
+	for off := 0; off < 4096; off += 8 {
+		a := uint64(off) + buf
+		if c.Mem().ReadU64(a) != ref.Mem.ReadU64(a) {
+			t.Fatalf("seed %d (%s): mem[%#x] = %#x, iss %#x", seed, name, a,
+				c.Mem().ReadU64(a), ref.Mem.ReadU64(a))
+		}
+	}
+}
+
+// TestDifferentialAgainstISS is the core architectural-equivalence property:
+// for random programs, every machine configuration must match the in-order
+// reference exactly — speculation, runahead and the secure extensions are
+// architecturally invisible.
+func TestDifferentialAgainstISS(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	cfgs := []struct {
+		name string
+		mk   func() Config
+	}{
+		{"no-runahead", noRunaheadConfig},
+		{"runahead-original", DefaultConfig},
+		{"runahead-precise", func() Config {
+			cfg := DefaultConfig()
+			cfg.Runahead.Kind = runahead.KindPrecise
+			return cfg
+		}},
+		{"runahead-vector", func() Config {
+			cfg := DefaultConfig()
+			cfg.Runahead.Kind = runahead.KindVector
+			return cfg
+		}},
+		{"runahead-secure", func() Config {
+			cfg := DefaultConfig()
+			cfg.Secure.Enabled = true
+			return cfg
+		}},
+		{"runahead-skipinv", func() Config {
+			cfg := DefaultConfig()
+			cfg.Runahead.SkipINVBranch = true
+			return cfg
+		}},
+	}
+	for _, tc := range cfgs {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				differential(t, seed, tc.mk(), tc.name)
+			}
+		})
+	}
+}
+
+func TestStatsSanity(t *testing.T) {
+	c := runCPU(t, DefaultConfig(), `
+		movi r1, 10
+	loop:
+		addi r1, r1, -1
+		bne r1, r0, loop
+		halt`)
+	s := c.Stats()
+	if s.Committed == 0 || s.Fetched < s.Committed || s.Dispatched < s.Committed {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+	if s.IPC() <= 0 {
+		t.Fatal("IPC must be positive")
+	}
+	if fmt.Sprintf("%.2f", s.IPC()) == "" {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,182 @@
+package cpu
+
+import (
+	"specrun/internal/isa"
+	"specrun/internal/runahead"
+)
+
+// dispatchPhase renames and dispatches up to DispatchWidth uops per cycle
+// from the front buffer into the ROB, issue queue and load/store queues,
+// subject to the Table 1 resource limits.  NOPs consume only a ROB entry —
+// the property §5.3 of the paper uses to measure the transient window.
+func (c *CPU) dispatchPhase(now uint64) {
+	for n := 0; n < c.cfg.DispatchWidth && len(c.frontQ) > 0; n++ {
+		u := c.frontQ[0]
+		if u.dispatchable > now {
+			return
+		}
+		if c.rob.full() {
+			return
+		}
+		op := u.inst.Op
+		k := op.Kind()
+
+		// FENCE serialises: it dispatches only into an empty ROB.  During
+		// runahead mode a fence is a speculation barrier instead: the
+		// machine does not pre-execute past it (prefetching loads across a
+		// memory fence would violate its ordering intent), so runahead
+		// stops here until the episode ends.
+		if k == isa.KindFence {
+			if c.mode == ModeRunahead {
+				c.ra.fetchBarrier = true
+				c.fetchBlocked = true
+				return
+			}
+			if !c.rob.empty() {
+				return
+			}
+		}
+
+		// Precise runahead: non-slice compute is dropped at dispatch and its
+		// destination poisoned; loads, stores and control always execute.
+		if c.mode == ModeRunahead && c.cfg.Runahead.Kind == runahead.KindPrecise &&
+			k == isa.KindALU && !op.IsSerializing() && !c.rdt.InSlice(u.pc) {
+			c.frontQ = c.frontQ[1:]
+			c.dropPRE(u, now)
+			continue
+		}
+
+		needIQ := !(k == isa.KindNop || k == isa.KindFence || k == isa.KindHalt)
+		if needIQ && len(c.iq) >= c.cfg.IQSize {
+			return
+		}
+		if u.isLoad() && len(c.lq) >= c.cfg.LQSize {
+			return
+		}
+		if u.isStore() && len(c.sq) >= c.cfg.SQSize {
+			return
+		}
+		if !c.claimPRF(u) {
+			return
+		}
+
+		c.rename(u)
+		c.rob.push(u)
+		c.frontQ = c.frontQ[1:]
+		c.stats.Dispatched++
+		c.dispatchedNow++
+		if c.mode == ModeRunahead && u.seq > c.ra.maxSeq {
+			c.ra.maxSeq = u.seq
+		}
+		if needIQ {
+			c.iq = append(c.iq, u)
+		} else {
+			// NOP / FENCE / HALT complete without backend resources.
+			u.stage = stDone
+			u.doneAt = now
+		}
+		if u.isLoad() {
+			c.lq = append(c.lq, u)
+		}
+		if u.isStore() {
+			c.sq = append(c.sq, u)
+		}
+	}
+}
+
+// rename captures ready source values (from the architectural state or
+// completed producers) and records in-flight producers otherwise; it then
+// claims the destination mapping and, for control instructions, snapshots
+// the RAT for recovery.
+func (c *CPU) rename(u *uop) {
+	var srcbuf [4]isa.Reg
+	srcs := u.inst.SrcRegs(srcbuf[:0])
+	u.nsrc = len(srcs)
+	for i, r := range srcs {
+		o := &u.srcs[i]
+		o.reg = r
+		if p := c.rat.lookup(r); p != nil {
+			if p.stage == stDone {
+				o.val, o.val2, o.inv = p.result, p.result2, p.resINV
+				o.ready = true
+			} else {
+				o.producer = p
+			}
+			continue
+		}
+		o.val, o.val2, o.inv, o.taint = c.arch.read(r)
+		o.ready = true
+	}
+	u.dest = u.inst.Dest()
+	if u.dest != isa.NoReg && !u.dest.IsZero() {
+		c.rat.set(u.dest, u)
+	}
+	if u.isCtl() {
+		u.ratCP = c.rat.snapshot()
+	}
+}
+
+// dropPRE implements precise runahead's dispatch filter: the uop occupies a
+// ROB slot (for pseudo-retirement ordering) but consumes no issue queue,
+// functional unit or physical register; its destination is poisoned.
+func (c *CPU) dropPRE(u *uop, now uint64) {
+	u.dest = u.inst.Dest()
+	if u.dest != isa.NoReg && !u.dest.IsZero() {
+		c.rat.set(u.dest, u)
+	}
+	u.stage = stDone
+	u.doneAt = now
+	u.resINV = true
+	c.rob.push(u)
+	c.stats.Dispatched++
+	c.dispatchedNow++
+	c.stats.DroppedPRE++
+	if u.seq > c.ra.maxSeq {
+		c.ra.maxSeq = u.seq
+	}
+}
+
+// claimPRF reserves a physical register for the uop's destination, modelling
+// the Table 1 rename resources (80 int / 40 fp / 40 xmm; the architectural
+// registers are subtracted as permanently allocated).
+func (c *CPU) claimPRF(u *uop) bool {
+	switch u.inst.Dest().Class() {
+	case isa.ClassInt:
+		if u.inst.Dest().IsZero() {
+			return true
+		}
+		if c.intPRFUsed >= c.cfg.IntPRF-isa.NumIntRegs {
+			return false
+		}
+		c.intPRFUsed++
+	case isa.ClassFP:
+		if c.fpPRFUsed >= c.cfg.FPPRF-isa.NumFPRegs {
+			return false
+		}
+		c.fpPRFUsed++
+	case isa.ClassVec:
+		if c.vecPRFUsed >= c.cfg.VecPRF-isa.NumVecRegs {
+			return false
+		}
+		c.vecPRFUsed++
+	default:
+		return true
+	}
+	u.prfClaimed = true
+	return true
+}
+
+func (c *CPU) releasePRF(u *uop) {
+	if !u.prfClaimed {
+		return
+	}
+	u.prfClaimed = false
+	switch u.inst.Dest().Class() {
+	case isa.ClassInt:
+		c.intPRFUsed--
+	case isa.ClassFP:
+		c.fpPRFUsed--
+	case isa.ClassVec:
+		c.vecPRFUsed--
+	}
+}

@@ -1,0 +1,120 @@
+package cpu
+
+import (
+	"specrun/internal/isa"
+	"specrun/internal/mem"
+)
+
+// fetchPhase fetches up to FetchWidth instructions per cycle from the L1
+// I-cache, predicting branches as it goes.  A predicted-taken control
+// instruction ends the fetch group; an I-cache miss stalls fetch until the
+// fill arrives (this fill bandwidth is what bounds the transient reach of a
+// runahead episode over a cold instruction stream — Fig. 10).
+func (c *CPU) fetchPhase(now uint64) {
+	if c.fetchBlocked || now < c.fetchStallUntil {
+		return
+	}
+	if c.mode == ModeRunahead && c.ra.fetchBarrier {
+		return // SkipINVBranch mitigation: no speculation past an INV branch
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.frontQ) >= c.cfg.FrontQ {
+			return
+		}
+		in, ok := c.prog.InstAt(c.fetchPC)
+		if !ok {
+			// Ran off the program text (wrong path or program error); idle
+			// until a branch resolution redirects fetch.
+			c.fetchBlocked = true
+			return
+		}
+		line := c.hier.LineAddr(c.fetchPC)
+		if line != c.lastFetchLine {
+			res := c.hier.Access(mem.PortI, c.fetchPC, now, false)
+			c.lastFetchLine = line
+			if res.Done > now+uint64(c.cfg.Mem.L1I.Latency) {
+				// I-cache miss: stall until the fill arrives, then re-fetch
+				// this line (it will hit).
+				c.fetchStallUntil = res.Done
+				return
+			}
+		}
+		u := c.newUOp(in, now)
+		redirected := c.predict(u)
+		c.frontQ = append(c.frontQ, u)
+		c.stats.Fetched++
+		if in.Op.Kind() == isa.KindHalt {
+			// Nothing architectural follows a HALT; stop fetching until a
+			// squash or redirect proves this path wrong.
+			c.fetchBlocked = true
+			return
+		}
+		if redirected {
+			return // taken control flow ends the fetch group
+		}
+	}
+}
+
+func (c *CPU) newUOp(in isa.Inst, now uint64) *uop {
+	c.seq++
+	u := &uop{
+		seq:          c.seq,
+		pc:           c.fetchPC,
+		inst:         in,
+		fetchedAt:    now,
+		dispatchable: now + uint64(c.cfg.FrontEndDepth-1),
+	}
+	if c.mode == ModeRunahead {
+		u.raEpisode = c.ra.episode
+	}
+	return u
+}
+
+// predict chooses the next fetch PC for u and records the prediction state
+// needed for training and recovery.  It reports whether fetch was redirected
+// away from the sequential path.
+func (c *CPU) predict(u *uop) bool {
+	next := u.pc + isa.InstBytes
+	switch u.inst.Op.Kind() {
+	case isa.KindBranch:
+		taken, idx := c.bp.PredictCond(u.pc)
+		u.phtIdx = idx
+		u.predTaken = taken
+		if taken {
+			next = u.inst.Target
+		}
+		u.bpCP = c.bp.Checkpoint()
+		u.hasBPCP = true
+	case isa.KindJump:
+		next = u.inst.Target
+	case isa.KindJumpR:
+		if t, ok := c.bp.PredictIndirect(u.pc); ok {
+			next = t
+		}
+		u.bpCP = c.bp.Checkpoint()
+		u.hasBPCP = true
+	case isa.KindCall:
+		c.bp.PushRSB(u.pc + isa.InstBytes)
+		next = u.inst.Target
+		u.bpCP = c.bp.Checkpoint()
+		u.hasBPCP = true
+	case isa.KindCallR:
+		c.bp.PushRSB(u.pc + isa.InstBytes)
+		if t, ok := c.bp.PredictIndirect(u.pc); ok {
+			next = t
+		}
+		u.bpCP = c.bp.Checkpoint()
+		u.hasBPCP = true
+	case isa.KindRet:
+		next = c.bp.PopRSB()
+		u.bpCP = c.bp.Checkpoint()
+		u.hasBPCP = true
+	}
+	u.predTarget = next
+	c.fetchPC = next
+	if next != u.pc+isa.InstBytes {
+		c.lastFetchLine = ^uint64(0)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,543 @@
+package cpu
+
+import (
+	"specrun/internal/isa"
+	"specrun/internal/mem"
+	"specrun/internal/runahead"
+)
+
+// issuePhase selects up to IssueWidth ready uops, oldest first, subject to
+// functional-unit availability, and executes them (computing results and
+// completion times; memory operations access the timing hierarchy here, so
+// wrong-path and runahead loads leave real cache state behind).
+func (c *CPU) issuePhase(now uint64) {
+	for i := range c.fuUsed {
+		c.fuUsed[i] = 0
+	}
+	c.iq = dropSquashed(c.iq)
+	c.lq = dropSquashed(c.lq)
+	c.sq = dropSquashed(c.sq)
+	issued := 0
+	for idx := 0; idx < len(c.iq) && issued < c.cfg.IssueWidth; idx++ {
+		u := c.iq[idx]
+		if u.squashed { // may be marked mid-phase by an INV-branch barrier
+			continue
+		}
+		// Stores issue as soon as their address operands are ready (split
+		// store-address/store-data µops, as in real cores): younger loads
+		// can then disambiguate against them instead of serialising behind
+		// the store's data dependence.
+		if u.inst.Op.Kind() == isa.KindStore {
+			if !c.srcsReadyTo(u, u.nsrc-1) {
+				continue
+			}
+		} else if !c.srcsReady(u) {
+			continue
+		}
+		if u.inst.Op.IsSerializing() && c.rob.front() != u {
+			continue // RDTSC/FENCE execute at the ROB head only
+		}
+		fu := u.inst.Op.FU()
+		if !c.fuAvailable(fu, now) {
+			continue
+		}
+		if !c.execute(u, now) {
+			continue // memory-ordering or SL-cache gating: retry next cycle
+		}
+		c.consumeFU(fu, now, u.inst.Op)
+		u.stage = stIssued
+		c.inflight = append(c.inflight, u)
+		c.iq = append(c.iq[:idx], c.iq[idx+1:]...)
+		idx--
+		issued++
+		c.stats.Issued++
+	}
+}
+
+// srcsReady polls producers and captures values as they complete.
+func (c *CPU) srcsReady(u *uop) bool { return c.srcsReadyTo(u, u.nsrc) }
+
+// srcsReadyTo polls the first n source operands only.
+func (c *CPU) srcsReadyTo(u *uop, n int) bool {
+	ready := true
+	for i := 0; i < n; i++ {
+		o := &u.srcs[i]
+		if o.ready {
+			continue
+		}
+		if p := o.producer; p != nil && p.stage == stDone {
+			o.val, o.val2, o.inv = p.result, p.result2, p.resINV
+			o.producer = nil
+			o.ready = true
+			continue
+		}
+		ready = false
+	}
+	return ready
+}
+
+func (c *CPU) fuAvailable(fu isa.FU, now uint64) bool {
+	switch fu {
+	case isa.FUIntALU:
+		return c.fuUsed[fu] < c.cfg.IntALU
+	case isa.FUIntMul:
+		return c.fuUsed[fu] < c.cfg.IntMul
+	case isa.FUFPAdd:
+		return c.fuUsed[fu] < c.cfg.FPAdd
+	case isa.FUFPMul:
+		return c.fuUsed[fu] < c.cfg.FPMul
+	case isa.FUMem:
+		return c.fuUsed[fu] < c.cfg.MemPorts
+	case isa.FUIntDiv:
+		return anyFree(c.divBusy, now)
+	case isa.FUFPDiv:
+		return anyFree(c.fdivBusy, now)
+	}
+	return true
+}
+
+func anyFree(busy []uint64, now uint64) bool {
+	for _, b := range busy {
+		if b <= now {
+			return true
+		}
+	}
+	return false
+}
+
+func claimUnit(busy []uint64, now, until uint64) {
+	for i, b := range busy {
+		if b <= now {
+			busy[i] = until
+			return
+		}
+	}
+}
+
+func (c *CPU) consumeFU(fu isa.FU, now uint64, op isa.Opcode) {
+	switch fu {
+	case isa.FUIntDiv:
+		claimUnit(c.divBusy, now, now+uint64(op.Latency())) // unpipelined
+	case isa.FUFPDiv:
+		claimUnit(c.fdivBusy, now, now+uint64(op.Latency()))
+	default:
+		c.fuUsed[fu]++
+	}
+}
+
+func (u *uop) srcINVTo(n int) bool {
+	for i := 0; i < n && i < u.nsrc; i++ {
+		if u.srcs[i].inv {
+			return true
+		}
+	}
+	return false
+}
+
+func (u *uop) anySrcINV() bool { return u.srcINVTo(u.nsrc) }
+
+// execute computes the uop's result and completion time.  It returns false
+// if the operation cannot proceed yet (load ordering against older stores,
+// or an SL-cache gate awaiting branch resolution); the caller retries on a
+// later cycle.  No state is modified on a false return.
+func (c *CPU) execute(u *uop, now uint64) bool {
+	op := u.inst.Op
+	lat := uint64(op.Latency())
+	switch op.Kind() {
+	case isa.KindALU:
+		s0, s1 := u.srcs[0], u.srcs[1]
+		switch op.DestClass() {
+		case isa.ClassInt:
+			u.result = isa.EvalALU(op, s0.val, s1.val, u.inst.Imm)
+		case isa.ClassFP:
+			u.result = isa.EvalFP(op, s0.val, s1.val, u.inst.Imm)
+		case isa.ClassVec:
+			r := isa.EvalVec(op, [2]uint64{s0.val, s0.val2}, [2]uint64{s1.val, s1.val2})
+			u.result, u.result2 = r[0], r[1]
+		}
+		u.resINV = u.anySrcINV()
+		u.doneAt = now + lat
+
+	case isa.KindRDTSC:
+		u.result = now
+		u.doneAt = now + lat
+
+	case isa.KindBranch:
+		if u.anySrcINV() {
+			c.markUnresolved(u, now)
+			break
+		}
+		u.actualTaken = isa.CondTaken(op, u.srcs[0].val, u.srcs[1].val)
+		if u.actualTaken {
+			u.actualTarget = u.inst.Target
+		} else {
+			u.actualTarget = u.pc + isa.InstBytes
+		}
+		u.doneAt = now + lat
+
+	case isa.KindJump:
+		u.actualTaken = true
+		u.actualTarget = u.inst.Target
+		u.doneAt = now + lat
+
+	case isa.KindJumpR:
+		if u.anySrcINV() {
+			c.markUnresolved(u, now)
+			break
+		}
+		u.actualTaken = true
+		u.actualTarget = u.srcs[0].val
+		u.doneAt = now + lat
+
+	case isa.KindCall:
+		// Push the return address: a store to [sp-8] plus an SP update.
+		sp := u.srcs[0].val
+		u.addr = sp - 8
+		u.addrValid = !u.srcs[0].inv
+		u.storeVal = u.pc + isa.InstBytes
+		u.storeINV = u.srcs[0].inv
+		u.result = sp - 8 // new SP
+		u.resINV = u.srcs[0].inv
+		u.actualTaken = true
+		u.actualTarget = u.inst.Target
+		u.doneAt = now + lat
+
+	case isa.KindCallR:
+		sp := u.srcs[1].val
+		u.addr = sp - 8
+		u.addrValid = !u.srcs[1].inv
+		u.storeVal = u.pc + isa.InstBytes
+		u.storeINV = u.srcs[1].inv
+		u.result = sp - 8
+		u.resINV = u.srcs[1].inv
+		if u.srcs[0].inv {
+			c.markUnresolved(u, now)
+			break
+		}
+		u.actualTaken = true
+		u.actualTarget = u.srcs[0].val
+		u.doneAt = now + lat
+
+	case isa.KindRet, isa.KindLoad:
+		return c.execLoad(u, now)
+
+	case isa.KindStore:
+		base, idx := u.srcs[0], operand{}
+		if u.inst.UsesIndex() {
+			idx = u.srcs[1]
+		}
+		if base.inv || idx.inv {
+			u.addrValid = false
+			u.resINV = true
+		} else {
+			u.addr = isa.EffAddr(u.inst, base.val, idx.val)
+			u.addrValid = true
+		}
+		// STA half done; the STD half completes in writeback when the data
+		// operand arrives.
+		if c.srcsReadyTo(u, u.nsrc) {
+			data := u.srcs[u.nsrc-1]
+			u.storeVal, u.storeVal2 = data.val, data.val2
+			u.storeINV = data.inv
+			u.doneAt = now + lat
+		} else {
+			u.dataPending = true
+			u.doneAt = ^uint64(0) >> 1
+		}
+
+	case isa.KindFlush:
+		if u.srcs[0].inv {
+			u.addrValid = false
+			u.resINV = true
+		} else {
+			u.addr = isa.EffAddr(u.inst, u.srcs[0].val, 0)
+			u.addrValid = true
+		}
+		u.doneAt = now + lat
+
+	default:
+		u.doneAt = now + lat
+	}
+	return true
+}
+
+// markUnresolved handles a control instruction whose predicate or target
+// depends on INV data during runahead: per the paper (§2.1) such branches
+// never complete resolution, so the machine keeps following the prediction.
+// This is the core of the SPECRUN window.  With the SkipINVBranch mitigation
+// the front end instead stops speculating past the branch.
+func (c *CPU) markUnresolved(u *uop, now uint64) {
+	u.unresolved = true
+	u.resINV = true
+	u.actualTaken = u.predTaken
+	u.actualTarget = u.predTarget
+	u.doneAt = now + 1
+	c.stats.INVBranches++
+	if c.mode == ModeRunahead && c.cfg.Runahead.SkipINVBranch {
+		c.stats.SkipBarriers++
+		c.ra.fetchBarrier = true
+		c.squashYounger(u.seq)
+		c.fetchBlocked = true
+	}
+}
+
+// execLoad performs loads (and RET's return-address pop): store-queue
+// ordering and forwarding, the runahead cache, the SL cache (Algorithm 1)
+// and finally the timing hierarchy plus functional memory.
+func (c *CPU) execLoad(u *uop, now uint64) bool {
+	op := u.inst.Op
+	isRet := op.Kind() == isa.KindRet
+	size := op.MemSize()
+
+	// Effective address.
+	if isRet {
+		sp := u.srcs[0].val
+		if u.srcs[0].inv {
+			c.markUnresolved(u, now)
+			u.result = sp + 8
+			return true
+		}
+		u.addr = sp
+		u.result = sp + 8 // SP update is valid even if the pop stalls
+	} else {
+		base, idx := u.srcs[0], operand{}
+		if u.inst.UsesIndex() {
+			idx = u.srcs[1]
+		}
+		if base.inv || idx.inv {
+			// INV address: no memory access, poisoned result (runahead).
+			u.resINV = true
+			u.doneAt = now + 1
+			return true
+		}
+		u.addr = isa.EffAddr(u.inst, base.val, idx.val)
+	}
+	u.addrValid = true
+
+	// Older-store ordering and forwarding.
+	fwd, blocked := c.scanSQ(u, size)
+	if blocked {
+		c.stats.LoadBlockedSQ++
+		return false
+	}
+	if fwd != nil {
+		off := u.addr - fwd.addr
+		v := fwd.storeVal >> (8 * off)
+		if size < 8 {
+			v &= (1 << (8 * size)) - 1
+		}
+		if size == 16 {
+			u.result2 = fwd.storeVal2
+		}
+		u.fwdFromSQ = true
+		u.doneAt = now + 2
+		if isRet {
+			c.finishRetTarget(u, v, fwd.storeINV, now)
+		} else {
+			u.result = v
+			u.resINV = fwd.storeINV
+		}
+		return true
+	}
+
+	// Runahead cache: pseudo-retired runahead stores.
+	if c.mode == ModeRunahead && c.raCache.Covers(u.addr, size) {
+		v, present, inv := c.raCache.Read(u.addr, size)
+		u.doneAt = now + 2
+		if !present {
+			u.resINV = true
+			return true
+		}
+		if isRet {
+			c.finishRetTarget(u, v, inv, now)
+		} else {
+			u.result = v
+			u.resINV = inv
+		}
+		return true
+	}
+
+	line := c.hier.LineAddr(u.addr)
+
+	// Algorithm 1: after a secure runahead episode the SL cache is probed
+	// first; USL entries gate on branch resolution.
+	if c.mode == ModeNormal && c.slActive {
+		if done, ok := c.slLoadPath(u, line, now); ok {
+			if !done {
+				return false // gated: retry after the branch resolves
+			}
+			c.loadValue(u, size, now, c.hier.Config().L1D.Latency)
+			u.doneAt = now + uint64(c.cfg.Secure.SLLatency)
+			return true
+		}
+	}
+
+	// Timing access.
+	if c.mode == ModeRunahead && c.cfg.Secure.Enabled {
+		// Secure runahead: fills stay out of the hierarchy; memory-level
+		// fills land in the SL cache instead.
+		res := c.hier.AccessNoFill(mem.PortD, u.addr, now)
+		u.missLevel = uint8(res.Level)
+		if c.slowInRunahead(res, now) {
+			if res.Level >= c.cfg.Runahead.TriggerLevel {
+				c.sl.Install(line, res.Done)
+			}
+			u.resINV = true
+			u.doneAt = now + 2
+			if isRet {
+				c.markUnresolved(u, now)
+			}
+			return true
+		}
+		c.loadValue(u, size, now, 0)
+		u.doneAt = res.Done
+		return true
+	}
+
+	res := c.hier.Access(mem.PortD, u.addr, now, false)
+	u.missLevel = uint8(res.Level)
+
+	// Vector runahead: prefetch further lanes along the detected stride.
+	if c.mode == ModeRunahead && c.cfg.Runahead.Kind == runahead.KindVector {
+		if stride, ok := c.strides.Predict(u.pc); ok {
+			for lane := 1; lane < c.cfg.Runahead.VectorLanes; lane++ {
+				c.hier.Access(mem.PortD, u.addr+uint64(int64(lane)*stride), now, false)
+				c.stats.VectorPrefetches++
+			}
+		}
+	}
+
+	if c.mode == ModeRunahead && c.slowInRunahead(res, now) {
+		// A runahead load that misses to memory — or merges into a fill
+		// that is still far away — is marked INV and pseudo-retires
+		// immediately (Mutlu et al.: runahead never waits on memory).  The
+		// fill it triggered is the prefetch benefit (and, under SPECRUN,
+		// the covert-channel transmission).
+		if res.Level >= c.cfg.Runahead.TriggerLevel {
+			c.stats.RAPrefIssued++
+		}
+		u.resINV = true
+		u.doneAt = now + 2
+		if isRet {
+			c.markUnresolved(u, now)
+		}
+		return true
+	}
+
+	c.loadValue(u, size, now, 0)
+	u.doneAt = res.Done
+	return true
+}
+
+// slowInRunahead reports whether a load's data is too far away to wait for
+// during runahead mode: a memory-level miss, or a merge into an in-flight
+// fill that will not land within an L2-hit's worth of cycles.  Runahead
+// poisons such loads and keeps going — waiting would stall pseudo-retirement
+// and collapse the episode's reach.
+func (c *CPU) slowInRunahead(res mem.Result, now uint64) bool {
+	if res.Level >= c.cfg.Runahead.TriggerLevel {
+		return true
+	}
+	slack := uint64(c.cfg.Mem.L1D.Latency + c.cfg.Mem.L2.Latency + 2)
+	return res.Done > now+slack
+}
+
+// loadValue reads the functional value for a completed load.
+func (c *CPU) loadValue(u *uop, size int, now uint64, _ int) {
+	v := c.memImg.Read(u.addr, min(size, 8))
+	if size == 16 {
+		u.result2 = c.memImg.ReadU64(u.addr + 8)
+	}
+	if u.inst.Op.Kind() == isa.KindRet {
+		c.finishRetTarget(u, v, false, now)
+		return
+	}
+	u.result = v
+}
+
+// finishRetTarget resolves (or poisons) a return's target.
+func (c *CPU) finishRetTarget(u *uop, target uint64, inv bool, now uint64) {
+	if inv {
+		c.markUnresolved(u, now)
+		return
+	}
+	u.actualTaken = true
+	u.actualTarget = target
+}
+
+// scanSQ checks all older stores for ordering hazards.  It returns the
+// youngest fully-covering older store for forwarding, or blocked=true if any
+// older store has an unknown address or partially overlaps.
+func (c *CPU) scanSQ(u *uop, size int) (fwd *uop, blocked bool) {
+	for _, st := range c.sq {
+		if st.seq >= u.seq {
+			break
+		}
+		if st.squashed {
+			continue
+		}
+		if !st.addrValid {
+			if st.stage == stDone && st.resINV {
+				continue // runahead INV-address store: never writes
+			}
+			return nil, true // address unknown: conservative stall
+		}
+		stSize := st.inst.Op.MemSize()
+		if st.addr+uint64(stSize) <= u.addr || u.addr+uint64(size) <= st.addr {
+			continue // no overlap
+		}
+		if st.addr <= u.addr && st.addr+uint64(stSize) >= u.addr+uint64(size) && size <= 8 && st.stage == stDone {
+			fwd = st // full cover, data ready: forward (youngest wins)
+			continue
+		}
+		if size == 16 && st.addr == u.addr && stSize == 16 && st.stage == stDone {
+			fwd = st
+			continue
+		}
+		return nil, true // partial overlap or data not ready: wait
+	}
+	return fwd, false
+}
+
+// slLoadPath implements the load arm of Algorithm 1.  Returns ok=false if
+// the SL cache holds nothing for this line (fall through to the hierarchy);
+// otherwise done reports whether the load may proceed now.
+func (c *CPU) slLoadPath(u *uop, line, now uint64) (done, ok bool) {
+	e, hit := c.sl.Lookup(line)
+	if !hit {
+		return false, false
+	}
+	if e.Btag.N == 0 || c.resolvedOK[e.Btag.N] {
+		// Safe (or gated on a correctly-predicted branch): promote to L1.
+		c.promoteSL(line, now)
+		return true, true
+	}
+	if sc := c.tracker.Scope(e.Btag.N); sc != nil && sc.Resolved && !sc.Correct {
+		// Mispredicted branch: the entry should already be deleted; be
+		// defensive and drop it now.
+		c.sl.Remove(line)
+		return false, false
+	}
+	// Await branch resolution.  If the gated load is at the ROB head the
+	// branch can never resolve (it is not in flight on this path); drop the
+	// entry conservatively — the line is NOT promoted, preserving security.
+	if c.rob.front() == u {
+		c.sl.Remove(line)
+		if c.sl.C() == 0 {
+			c.slActive = false
+		}
+		return false, false
+	}
+	c.stats.SLWaits++
+	return false, true
+}
+
+// promoteSL moves an SL line into the L1 D-cache (Algorithm 1 line 13).
+func (c *CPU) promoteSL(line, now uint64) {
+	_, l1d, _, _ := c.hier.Caches()
+	l1d.Insert(line, now+uint64(c.cfg.Secure.SLLatency), false)
+	c.sl.Promote(line)
+	if c.sl.C() == 0 {
+		c.slActive = false
+	}
+}

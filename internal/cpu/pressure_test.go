@@ -1,0 +1,196 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"specrun/internal/asm"
+	"specrun/internal/isa"
+	"specrun/internal/iss"
+	"specrun/internal/proggen"
+	"specrun/internal/runahead"
+)
+
+// Failure-injection and resource-pressure tests: the machine must stay
+// architecturally correct when individual backend structures saturate.
+
+func runBoth(t *testing.T, cfg Config, prog *asm.Program) (*CPU, *iss.Interp) {
+	t.Helper()
+	ref := iss.New(prog)
+	if err := ref.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg, prog)
+	if err := c.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < isa.NumIntRegs; i++ {
+		if c.IntReg(i) != ref.IntReg[i] {
+			t.Fatalf("r%d = %#x, iss %#x", i, c.IntReg(i), ref.IntReg[i])
+		}
+	}
+	return c, ref
+}
+
+// A chain of divisions saturates the single unpipelined divider.
+func TestDividerSaturation(t *testing.T) {
+	b := asm.NewBuilder(0x1000, 0x100000)
+	b.Movi(isa.R(1), 1<<40)
+	b.Movi(isa.R(2), 3)
+	for i := 0; i < 64; i++ {
+		b.Div(isa.R(1), isa.R(1), isa.R(2))
+	}
+	b.Halt()
+	runBoth(t, DefaultConfig(), b.MustBuild())
+}
+
+// Back-to-back independent misses exhaust the memory controller's
+// outstanding-request window; correctness must hold and the requests must
+// serialise rather than vanish.
+func TestMemoryOutstandingSaturation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mem.MemMaxOutstanding = 4
+	b := asm.NewBuilder(0x1000, 0x100000)
+	buf := b.Alloc("buf", 64*64, 64)
+	b.MoviAddr(isa.R(1), buf)
+	acc := isa.R(3)
+	for i := 0; i < 32; i++ {
+		b.Ld(isa.R(2), isa.R(1), int64(i*64))
+		b.Add(acc, acc, isa.R(2))
+	}
+	b.Halt()
+	c, _ := runBoth(t, cfg, b.MustBuild())
+	if c.Hier().Stats.MemRequests < 32 {
+		t.Fatalf("only %d memory requests for 32 distinct lines", c.Hier().Stats.MemRequests)
+	}
+}
+
+// Deep recursion overflows the 16-entry RSB: returns beyond the depth
+// mispredict through stale entries, but the architecture must be exact.
+func TestRSBOverflowRecursion(t *testing.T) {
+	b := asm.NewBuilder(0x1000, 0x100000)
+	b.Alloc("stk", 4096, 64)
+	b.MoviAddr(isa.SP, b.MustSymNow("stk")+4096)
+	b.Movi(isa.R(1), 40) // depth > 2x RSB size
+	b.Movi(isa.R(2), 0)
+	b.Call("rec")
+	b.Halt()
+	b.Label("rec")
+	b.Addi(isa.R(2), isa.R(2), 1)
+	b.Addi(isa.R(1), isa.R(1), -1)
+	b.Beq(isa.R(1), isa.R(0), "base")
+	b.Call("rec")
+	b.Label("base")
+	b.Ret()
+	c, _ := runBoth(t, DefaultConfig(), b.MustBuild())
+	if c.IntReg(2) != 40 {
+		t.Fatalf("recursion count = %d, want 40", c.IntReg(2))
+	}
+}
+
+// A squash storm: data-dependent branches that flip every iteration defeat
+// the predictor; recovery must never corrupt state.
+func TestSquashStorm(t *testing.T) {
+	b := asm.NewBuilder(0x1000, 0x100000)
+	b.Movi(isa.R(1), 200) // iterations
+	b.Movi(isa.R(2), 0)   // parity accumulator
+	b.Movi(isa.R(3), 0)   // sum
+	b.Label("loop")
+	b.Andi(isa.R(4), isa.R(1), 1)
+	b.Beq(isa.R(4), isa.R(0), "even")
+	b.Addi(isa.R(3), isa.R(3), 7)
+	b.Jmp("next")
+	b.Label("even")
+	b.Addi(isa.R(3), isa.R(3), 1)
+	b.Label("next")
+	b.Xor(isa.R(2), isa.R(2), isa.R(4))
+	b.Addi(isa.R(1), isa.R(1), -1)
+	b.Bne(isa.R(1), isa.R(0), "loop")
+	b.Halt()
+	c, _ := runBoth(t, DefaultConfig(), b.MustBuild())
+	if c.Stats().CondMispredicts == 0 {
+		t.Fatal("alternating branch never mispredicted — predictor too strong to test recovery")
+	}
+	if c.IntReg(3) != 100*7+100*1 {
+		t.Fatalf("sum = %d", c.IntReg(3))
+	}
+}
+
+// Store-queue pressure: more in-flight stores than SQ entries.
+func TestStoreQueueSaturation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SQSize = 4
+	b := asm.NewBuilder(0x1000, 0x100000)
+	buf := b.Alloc("buf", 4096, 64)
+	b.MoviAddr(isa.R(1), buf)
+	for i := 0; i < 64; i++ {
+		b.Movi(isa.R(2), int64(i))
+		b.St(isa.R(1), int64(i*8), isa.R(2))
+	}
+	b.Ld(isa.R(3), isa.R(1), 63*8)
+	b.Halt()
+	c, _ := runBoth(t, cfg, b.MustBuild())
+	if c.IntReg(3) != 63 {
+		t.Fatalf("r3 = %d", c.IntReg(3))
+	}
+}
+
+// Misaligned loads crossing line boundaries stay functionally exact (the
+// timing model charges the first line only; the value must be right).
+func TestMisalignedAccess(t *testing.T) {
+	b := asm.NewBuilder(0x1000, 0x100000)
+	buf := b.Alloc("buf", 256, 64)
+	b.MoviAddr(isa.R(1), buf)
+	b.Movi(isa.R(2), 0x1122334455667788)
+	b.St(isa.R(1), 61, isa.R(2)) // crosses the 64-byte boundary
+	b.Ld(isa.R(3), isa.R(1), 61)
+	b.Ldb(isa.R(4), isa.R(1), 64)
+	b.Halt()
+	c, _ := runBoth(t, DefaultConfig(), b.MustBuild())
+	if c.IntReg(3) != 0x1122334455667788 {
+		t.Fatalf("misaligned round trip = %#x", c.IntReg(3))
+	}
+}
+
+// Long differential soak across random seeds and both the smallest and the
+// most aggressive machine shapes (beyond the six standard configs).
+func TestDifferentialPressureConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	tiny := DefaultConfig()
+	tiny.ROBSize = 32
+	tiny.IQSize = 8
+	tiny.LQSize = 6
+	tiny.SQSize = 6
+	tiny.IntPRF = 40
+	tiny.FPPRF = 24
+	tiny.VecPRF = 24
+	tiny.FrontQ = 4
+
+	hot := DefaultConfig()
+	hot.Runahead.Kind = runahead.KindVector
+	hot.Runahead.TriggerLevel = 2 // enter runahead even on L2 misses
+	hot.Secure.Enabled = true
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		seed := rng.Int63()
+		prog := proggen.Generate(seed, proggen.DefaultOptions())
+		for _, cfg := range []Config{tiny, hot} {
+			ref := iss.New(prog)
+			if err := ref.Run(5_000_000); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			c := New(cfg, prog)
+			if err := c.Run(40_000_000); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for r := 0; r < isa.NumIntRegs; r++ {
+				if c.IntReg(r) != ref.IntReg[r] {
+					t.Fatalf("seed %d r%d: %#x vs %#x", seed, r, c.IntReg(r), ref.IntReg[r])
+				}
+			}
+		}
+	}
+}

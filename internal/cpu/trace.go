@@ -1,0 +1,66 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceSample is one snapshot of pipeline occupancy, emitted by the tracer
+// at a fixed cycle interval.  It is the raw material for utilisation plots
+// (ROB occupancy over time makes runahead episodes visible as sawtooths:
+// the window drains at entry via pseudo-retirement and refills after exit).
+type TraceSample struct {
+	Cycle         uint64
+	Mode          Mode
+	ROB           int
+	IQ            int
+	LQ            int
+	SQ            int
+	FrontQ        int
+	IntPRFUsed    int
+	Committed     uint64
+	PseudoRetired uint64
+	Episodes      uint64
+}
+
+// SetTracer installs fn to receive a TraceSample every `every` cycles
+// (every=0 removes the tracer).  The callback runs synchronously inside the
+// simulation loop; keep it cheap.
+func (c *CPU) SetTracer(every uint64, fn func(TraceSample)) {
+	c.traceEvery = every
+	c.traceFn = fn
+}
+
+func (c *CPU) traceTick() {
+	if c.traceFn == nil || c.traceEvery == 0 || c.cycle%c.traceEvery != 0 {
+		return
+	}
+	c.traceFn(TraceSample{
+		Cycle:         c.cycle,
+		Mode:          c.mode,
+		ROB:           c.rob.len(),
+		IQ:            len(c.iq),
+		LQ:            len(c.lq),
+		SQ:            len(c.sq),
+		FrontQ:        len(c.frontQ),
+		IntPRFUsed:    c.intPRFUsed,
+		Committed:     c.stats.Committed,
+		PseudoRetired: c.stats.PseudoRetired,
+		Episodes:      c.stats.RunaheadEpisodes,
+	})
+}
+
+// CSVTracer returns a tracer callback that streams samples as CSV rows to w,
+// after writing a header line.
+func CSVTracer(w io.Writer) func(TraceSample) {
+	fmt.Fprintln(w, "cycle,mode,rob,iq,lq,sq,frontq,int_prf,committed,pseudo_retired,episodes")
+	return func(s TraceSample) {
+		mode := "normal"
+		if s.Mode == ModeRunahead {
+			mode = "runahead"
+		}
+		fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Cycle, mode, s.ROB, s.IQ, s.LQ, s.SQ, s.FrontQ, s.IntPRFUsed,
+			s.Committed, s.PseudoRetired, s.Episodes)
+	}
+}

@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"specrun/internal/asm"
+)
+
+func TestTracerSamplesPipeline(t *testing.T) {
+	prog := stallProgram(func(b *asm.Builder) { b.NopN(400) })
+	c := New(DefaultConfig(), prog)
+	var samples []TraceSample
+	c.SetTracer(10, func(s TraceSample) { samples = append(samples, s) })
+	if err := c.Run(testBudget); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("tracer produced no samples")
+	}
+	sawRunahead := false
+	var last uint64
+	for i, s := range samples {
+		if i > 0 && s.Cycle <= last {
+			t.Fatal("trace cycles not monotonic")
+		}
+		last = s.Cycle
+		if s.ROB < 0 || s.ROB > DefaultConfig().ROBSize {
+			t.Fatalf("ROB occupancy %d out of range", s.ROB)
+		}
+		if s.Mode == ModeRunahead {
+			sawRunahead = true
+		}
+	}
+	if !sawRunahead {
+		t.Fatal("trace never observed runahead mode despite episodes")
+	}
+}
+
+func TestCSVTracer(t *testing.T) {
+	prog := stallProgram(func(b *asm.Builder) { b.NopN(300) })
+	c := New(DefaultConfig(), prog)
+	var sb strings.Builder
+	c.SetTracer(25, CSVTracer(&sb))
+	if err := c.Run(testBudget); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("CSV too short:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "cycle,mode,rob,") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.Contains(out, "runahead") {
+		t.Fatal("CSV never recorded runahead mode")
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 10 {
+			t.Fatalf("row %q has %d commas, want 10", line, got)
+		}
+	}
+}
+
+func TestTracerDisable(t *testing.T) {
+	prog := stallProgram(func(b *asm.Builder) { b.NopN(100) })
+	c := New(DefaultConfig(), prog)
+	n := 0
+	c.SetTracer(1, func(TraceSample) { n++ })
+	c.SetTracer(0, nil)
+	if err := c.Run(testBudget); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("disabled tracer still fired")
+	}
+}

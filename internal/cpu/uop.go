@@ -1,0 +1,227 @@
+package cpu
+
+import (
+	"specrun/internal/branch"
+	"specrun/internal/isa"
+	"specrun/internal/secure"
+)
+
+// uop stage values.
+const (
+	stDispatched uint8 = iota // in ROB, waiting in the issue queue
+	stIssued                  // executing on a functional unit / memory
+	stDone                    // result available, awaiting retirement
+)
+
+// uop is one dynamic instruction in flight.
+type uop struct {
+	seq  uint64
+	pc   uint64
+	inst isa.Inst
+
+	// Front end.
+	fetchedAt    uint64
+	dispatchable uint64 // earliest rename/dispatch cycle (models the 6-stage front end)
+	predTaken    bool
+	predTarget   uint64 // next-PC chosen at fetch
+	phtIdx       int
+	hasBPCP      bool
+	bpCP         branch.Checkpoint
+	ratCP        *rat // checkpoint for control instructions
+
+	// Renamed sources.
+	srcs [4]operand
+	nsrc int
+	dest isa.Reg
+
+	// Execution state.
+	stage    uint8
+	doneAt   uint64
+	result   uint64 // scalar result / lane 0
+	result2  uint64 // lane 1 for vector ops
+	resINV   bool
+	resTaint secure.TaintSet
+
+	// Memory.
+	addr        uint64
+	addrValid   bool
+	storeVal    uint64
+	storeVal2   uint64
+	storeINV    bool
+	dataPending bool  // STA/STD split: address resolved, data still in flight
+	missLevel   uint8 // mem.Level of the access that served this load
+	fwdFromSQ   bool
+
+	// Control resolution.
+	actualTaken  bool
+	actualTarget uint64
+	unresolved   bool // INV-source branch in runahead: never resolves (SPECRUN)
+
+	// Bookkeeping.
+	squashed   bool
+	prfClaimed bool
+	raEpisode  uint64 // runahead episode the uop was fetched in (0 = normal mode)
+	scopeN     int    // secure mode: scope opened by this branch
+}
+
+func (u *uop) isLoad() bool  { return u.inst.Op.IsLoad() }
+func (u *uop) isStore() bool { return u.inst.Op.IsStore() }
+func (u *uop) isCtl() bool   { return u.inst.Op.IsControl() }
+
+// operand is one renamed source.
+type operand struct {
+	reg      isa.Reg
+	ready    bool
+	val      uint64
+	val2     uint64
+	inv      bool
+	taint    secure.TaintSet
+	producer *uop // nil once the value is captured
+}
+
+// rat maps architectural registers to their youngest in-flight producer.
+// nil means the committed architectural state holds the value.
+type rat struct {
+	intp [isa.NumIntRegs]*uop
+	fpp  [isa.NumFPRegs]*uop
+	vecp [isa.NumVecRegs]*uop
+}
+
+func (r *rat) lookup(reg isa.Reg) *uop {
+	switch reg.Class() {
+	case isa.ClassInt:
+		return r.intp[reg.Idx()]
+	case isa.ClassFP:
+		return r.fpp[reg.Idx()]
+	case isa.ClassVec:
+		return r.vecp[reg.Idx()]
+	}
+	return nil
+}
+
+func (r *rat) set(reg isa.Reg, u *uop) {
+	switch reg.Class() {
+	case isa.ClassInt:
+		r.intp[reg.Idx()] = u
+	case isa.ClassFP:
+		r.fpp[reg.Idx()] = u
+	case isa.ClassVec:
+		r.vecp[reg.Idx()] = u
+	}
+}
+
+func (r *rat) snapshot() *rat {
+	cp := *r
+	return &cp
+}
+
+func (r *rat) reset() {
+	*r = rat{}
+}
+
+// robQ is the reorder buffer: a bounded FIFO of uops in program order.
+type robQ struct {
+	buf  []*uop
+	head int
+	n    int
+}
+
+func newROB(size int) *robQ { return &robQ{buf: make([]*uop, size)} }
+
+func (q *robQ) full() bool  { return q.n == len(q.buf) }
+func (q *robQ) empty() bool { return q.n == 0 }
+func (q *robQ) len() int    { return q.n }
+
+func (q *robQ) push(u *uop) {
+	if q.full() {
+		panic("cpu: ROB overflow")
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = u
+	q.n++
+}
+
+func (q *robQ) front() *uop {
+	if q.empty() {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *robQ) popFront() *uop {
+	u := q.front()
+	if u == nil {
+		return nil
+	}
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return u
+}
+
+// at returns the i'th oldest entry.
+func (q *robQ) at(i int) *uop { return q.buf[(q.head+i)%len(q.buf)] }
+
+// popBack removes and returns the youngest entry.
+func (q *robQ) popBack() *uop {
+	if q.n == 0 {
+		return nil
+	}
+	idx := (q.head + q.n - 1) % len(q.buf)
+	u := q.buf[idx]
+	q.buf[idx] = nil
+	q.n--
+	return u
+}
+
+// archState is the architectural register file with the INV and taint
+// sidecar bits that runahead mode requires (the "checkpointed architectural
+// register file" of Fig. 6 is a copy of this struct).
+type archState struct {
+	intv [isa.NumIntRegs]uint64
+	intI [isa.NumIntRegs]bool
+	intT [isa.NumIntRegs]secure.TaintSet
+	fpv  [isa.NumFPRegs]uint64
+	fpI  [isa.NumFPRegs]bool
+	fpT  [isa.NumFPRegs]secure.TaintSet
+	vecv [isa.NumVecRegs][2]uint64
+	vecI [isa.NumVecRegs]bool
+	vecT [isa.NumVecRegs]secure.TaintSet
+}
+
+func (a *archState) read(reg isa.Reg) (v, v2 uint64, inv bool, taint secure.TaintSet) {
+	switch reg.Class() {
+	case isa.ClassInt:
+		if reg.IsZero() {
+			return 0, 0, false, 0
+		}
+		i := reg.Idx()
+		return a.intv[i], 0, a.intI[i], a.intT[i]
+	case isa.ClassFP:
+		i := reg.Idx()
+		return a.fpv[i], 0, a.fpI[i], a.fpT[i]
+	case isa.ClassVec:
+		i := reg.Idx()
+		return a.vecv[i][0], a.vecv[i][1], a.vecI[i], a.vecT[i]
+	}
+	return 0, 0, false, 0
+}
+
+func (a *archState) write(reg isa.Reg, v, v2 uint64, inv bool, taint secure.TaintSet) {
+	switch reg.Class() {
+	case isa.ClassInt:
+		if reg.IsZero() {
+			return
+		}
+		i := reg.Idx()
+		a.intv[i], a.intI[i], a.intT[i] = v, inv, taint
+	case isa.ClassFP:
+		i := reg.Idx()
+		a.fpv[i], a.fpI[i], a.fpT[i] = v, inv, taint
+	case isa.ClassVec:
+		i := reg.Idx()
+		a.vecv[i], a.vecI[i], a.vecT[i] = [2]uint64{v, v2}, inv, taint
+	}
+}
+
+// regID flattens a register into the opaque id used by the taint tracker.
+func regID(reg isa.Reg) uint16 { return uint16(reg) }

@@ -1,0 +1,135 @@
+package cpu
+
+import "sort"
+
+// writebackPhase completes executed uops whose latency has elapsed, waking
+// dependants (by polling in issue) and resolving control flow.  The oldest
+// mispredicted control instruction triggers recovery: younger uops are
+// squashed, the RAT and predictor state are restored from the instruction's
+// checkpoints, and fetch is redirected.  In-flight cache fills survive —
+// that persistence is the Spectre/SPECRUN channel.
+//
+// Squashes only mark uops; the per-cycle phases lazily compact their queues,
+// so a recovery in the middle of a scan never invalidates iteration state.
+func (c *CPU) writebackPhase(now uint64) {
+	if len(c.inflight) == 0 {
+		return
+	}
+	sort.Slice(c.inflight, func(i, j int) bool { return c.inflight[i].seq < c.inflight[j].seq })
+	for _, u := range c.inflight {
+		if u.squashed {
+			continue
+		}
+		// STD half of a split store: capture the data once it arrives.
+		if u.dataPending && u.stage == stIssued && c.srcsReadyTo(u, u.nsrc) {
+			data := u.srcs[u.nsrc-1]
+			u.storeVal, u.storeVal2 = data.val, data.val2
+			u.storeINV = data.inv
+			u.dataPending = false
+			u.doneAt = now + 1
+		}
+		if u.stage != stIssued || u.doneAt > now {
+			continue
+		}
+		u.stage = stDone
+		if u.isCtl() && !u.unresolved && c.mispredicted(u) {
+			// Oldest-first processing guarantees entries already completed
+			// this cycle are older than u and survive the squash.
+			c.recover(u, now)
+		}
+	}
+	c.inflight = compact(c.inflight, func(u *uop) bool {
+		return !u.squashed && u.stage == stIssued
+	})
+}
+
+func (c *CPU) mispredicted(u *uop) bool {
+	if u.inst.Op.IsCondBranch() {
+		return u.actualTaken != u.predTaken
+	}
+	return u.actualTarget != u.predTarget
+}
+
+// recover repairs the machine after a resolved misprediction.
+func (c *CPU) recover(u *uop, now uint64) {
+	c.stats.CondMispredicts++
+	c.bp.RecordMispredict()
+
+	c.squashYounger(u.seq)
+
+	if u.ratCP != nil {
+		c.rat = *u.ratCP
+	}
+	if u.hasBPCP {
+		c.bp.Restore(u.bpCP)
+		if u.inst.Op.IsCondBranch() {
+			c.bp.FixLast(u.actualTaken)
+		}
+	}
+
+	c.fetchPC = u.actualTarget
+	c.fetchBlocked = false
+	if c.fetchStallUntil < now+1 {
+		c.fetchStallUntil = now + 1
+	}
+	c.lastFetchLine = ^uint64(0)
+
+	// The uop retires with its resolved outcome; prevent re-recovery.
+	u.predTaken = u.actualTaken
+	u.predTarget = u.actualTarget
+}
+
+// squashYounger marks every uop younger than seq as squashed and removes it
+// from the ROB.  Issue/load/store/in-flight queues drop marked entries when
+// their phase next compacts.
+func (c *CPU) squashYounger(seq uint64) {
+	n := 0
+	for c.rob.len() > 0 {
+		tail := c.rob.at(c.rob.len() - 1)
+		if tail.seq <= seq {
+			break
+		}
+		c.rob.popBack()
+		tail.squashed = true
+		c.releasePRF(tail)
+		n++
+	}
+	c.stats.Squashed += uint64(n + len(c.frontQ))
+	for _, u := range c.frontQ {
+		u.squashed = true
+	}
+	c.frontQ = c.frontQ[:0]
+}
+
+// squashAll empties the whole pipeline (runahead exit).
+func (c *CPU) squashAll() {
+	for c.rob.len() > 0 {
+		u := c.rob.popBack()
+		u.squashed = true
+		c.stats.Squashed++
+	}
+	c.stats.Squashed += uint64(len(c.frontQ))
+	for _, u := range c.frontQ {
+		u.squashed = true
+	}
+	c.frontQ = c.frontQ[:0]
+	c.iq = c.iq[:0]
+	c.lq = c.lq[:0]
+	c.sq = c.sq[:0]
+	c.inflight = c.inflight[:0]
+	c.intPRFUsed, c.fpPRFUsed, c.vecPRFUsed = 0, 0, 0
+}
+
+func compact(s []*uop, keep func(*uop) bool) []*uop {
+	out := s[:0]
+	for _, u := range s {
+		if keep(u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func dropSquashed(s []*uop) []*uop {
+	return compact(s, func(u *uop) bool { return !u.squashed })
+}

@@ -1,0 +1,115 @@
+package isa
+
+import "math"
+
+// This file centralises the functional semantics of the ISA so that the
+// reference interpreter (internal/iss) and the out-of-order core
+// (internal/cpu) compute identical results — a prerequisite for the
+// differential tests that assert speculation is architecturally invisible.
+
+// EvalALU computes the result of an integer ALU operation.
+// Division by zero yields all-ones (no traps in this ISA).
+func EvalALU(op Opcode, a, b uint64, imm int64) uint64 {
+	switch op {
+	case ADD:
+		return a + b
+	case SUB:
+		return a - b
+	case MUL:
+		return a * b
+	case DIV:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case AND:
+		return a & b
+	case OR:
+		return a | b
+	case XOR:
+		return a ^ b
+	case SHL:
+		return a << (b & 63)
+	case SHR:
+		return a >> (b & 63)
+	case ADDI:
+		return a + uint64(imm)
+	case ANDI:
+		return a & uint64(imm)
+	case ORI:
+		return a | uint64(imm)
+	case XORI:
+		return a ^ uint64(imm)
+	case SHLI:
+		return a << (uint64(imm) & 63)
+	case SHRI:
+		return a >> (uint64(imm) & 63)
+	case MOVI:
+		return uint64(imm)
+	case RDTSC:
+		return 0 // supplied by the timing model; the ISS substitutes steps
+	}
+	panic("isa: EvalALU on non-ALU opcode " + op.Name())
+}
+
+// EvalFP computes the result of a floating-point operation on float64 bit
+// patterns.
+func EvalFP(op Opcode, a, b uint64, imm int64) uint64 {
+	fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+	var r float64
+	switch op {
+	case FADD:
+		r = fa + fb
+	case FSUB:
+		r = fa - fb
+	case FMUL:
+		r = fa * fb
+	case FDIV:
+		r = fa / fb
+	case FMOVI:
+		return uint64(imm)
+	default:
+		panic("isa: EvalFP on non-FP opcode " + op.Name())
+	}
+	return math.Float64bits(r)
+}
+
+// EvalVec computes a lane-wise vector operation on two 128-bit values.
+func EvalVec(op Opcode, a, b [2]uint64) [2]uint64 {
+	switch op {
+	case VADDQ:
+		return [2]uint64{a[0] + b[0], a[1] + b[1]}
+	case VXORQ:
+		return [2]uint64{a[0] ^ b[0], a[1] ^ b[1]}
+	}
+	panic("isa: EvalVec on non-vector opcode " + op.Name())
+}
+
+// CondTaken evaluates a conditional branch predicate.
+func CondTaken(op Opcode, a, b uint64) bool {
+	switch op {
+	case BEQ:
+		return a == b
+	case BNE:
+		return a != b
+	case BLT:
+		return int64(a) < int64(b)
+	case BGE:
+		return int64(a) >= int64(b)
+	case BLTU:
+		return a < b
+	case BGEU:
+		return a >= b
+	}
+	panic("isa: CondTaken on non-branch opcode " + op.Name())
+}
+
+// EffAddr computes the effective address of a memory operation given the
+// base and index register values.
+func EffAddr(in Inst, base, index uint64) uint64 {
+	addr := base + uint64(in.Imm)
+	if in.UsesIndex() {
+		addr += index << in.Scale
+	}
+	return addr
+}

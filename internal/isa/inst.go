@@ -1,0 +1,168 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Inst is one decoded instruction.  The assembler produces these directly;
+// there is no binary encoding (the simulator is a decoupled functional/timing
+// model and fetches decoded instructions, charging I-cache timing by PC).
+type Inst struct {
+	Op     Opcode
+	Rd     Reg    // destination (loads, ALU, RDTSC)
+	Rs1    Reg    // first source / base address
+	Rs2    Reg    // second source / index register
+	Rs3    Reg    // store data register
+	Imm    int64  // immediate or address displacement
+	Target uint64 // branch/jump/call target (byte address)
+	Scale  uint8  // index shift for rs2 in addressing (0..4)
+}
+
+// SrcRegs appends the valid source registers of the instruction to dst and
+// returns it.  The hardwired zero register is included (it always reads 0 but
+// still appears as an operand).
+func (in Inst) SrcRegs(dst []Reg) []Reg {
+	switch in.Op.Kind() {
+	case KindALU:
+		switch in.Op {
+		case MOVI, FMOVI:
+			// no register sources
+		case ADDI, ANDI, ORI, XORI, SHLI, SHRI:
+			dst = append(dst, in.Rs1)
+		default:
+			dst = append(dst, in.Rs1, in.Rs2)
+		}
+	case KindLoad:
+		dst = append(dst, in.Rs1)
+		if in.Rs2 != NoReg {
+			dst = append(dst, in.Rs2)
+		}
+	case KindStore:
+		dst = append(dst, in.Rs1)
+		if in.Rs2 != NoReg {
+			dst = append(dst, in.Rs2)
+		}
+		dst = append(dst, in.Rs3)
+	case KindBranch:
+		dst = append(dst, in.Rs1, in.Rs2)
+	case KindJumpR:
+		dst = append(dst, in.Rs1)
+	case KindCallR:
+		dst = append(dst, in.Rs1, SP)
+	case KindFlush:
+		dst = append(dst, in.Rs1)
+	case KindCall, KindRet:
+		dst = append(dst, SP)
+	}
+	return dst
+}
+
+// Dest reports the destination register, or NoReg.  CALL and RET update the
+// stack pointer as an implicit destination.
+func (in Inst) Dest() Reg {
+	switch in.Op.Kind() {
+	case KindCall, KindCallR, KindRet:
+		return SP
+	}
+	if in.Op.DestClass() == ClassNone {
+		return NoReg
+	}
+	return in.Rd
+}
+
+// UsesIndex reports whether the effective address uses rs2<<scale.
+func (in Inst) UsesIndex() bool {
+	return in.Op.IsMemRef() && in.Rs2 != NoReg
+}
+
+// Validate checks operand well-formedness.
+func (in Inst) Validate() error {
+	if in.Op == BAD || int(in.Op) >= NumOpcodes {
+		return fmt.Errorf("isa: bad opcode %d", in.Op)
+	}
+	if in.Scale > 4 {
+		return fmt.Errorf("isa: %s: scale %d out of range", in.Op, in.Scale)
+	}
+	if dc := in.Op.DestClass(); dc != ClassNone {
+		if in.Op.Kind() == KindCall || in.Op.Kind() == KindRet {
+			// implicit sp destination, rd unused
+		} else if !in.Rd.Valid() || in.Rd.Class() != dc {
+			return fmt.Errorf("isa: %s: destination %s is not a %s register", in.Op, in.Rd, dc)
+		}
+	}
+	var srcs [4]Reg
+	for _, r := range in.SrcRegs(srcs[:0]) {
+		if !r.Valid() {
+			return fmt.Errorf("isa: %s: invalid source register %s", in.Op, r)
+		}
+	}
+	if in.Op.IsStore() && in.Op.Kind() == KindStore {
+		want := ClassInt
+		switch in.Op {
+		case FST:
+			want = ClassFP
+		case VST:
+			want = ClassVec
+		}
+		if in.Rs3.Class() != want {
+			return fmt.Errorf("isa: %s: store data register %s is not a %s register", in.Op, in.Rs3, want)
+		}
+	}
+	return nil
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.Name())
+	arg := func(s string) {
+		if strings.HasSuffix(b.String(), in.Op.Name()) {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+	}
+	addr := func() string {
+		if in.UsesIndex() {
+			return fmt.Sprintf("[%s + %s*%d + %d]", in.Rs1, in.Rs2, 1<<in.Scale, in.Imm)
+		}
+		return fmt.Sprintf("[%s + %d]", in.Rs1, in.Imm)
+	}
+	switch in.Op.Kind() {
+	case KindALU:
+		switch in.Op {
+		case MOVI, FMOVI:
+			arg(in.Rd.String())
+			arg(fmt.Sprintf("%d", in.Imm))
+		case ADDI, ANDI, ORI, XORI, SHLI, SHRI:
+			arg(in.Rd.String())
+			arg(in.Rs1.String())
+			arg(fmt.Sprintf("%d", in.Imm))
+		default:
+			arg(in.Rd.String())
+			arg(in.Rs1.String())
+			arg(in.Rs2.String())
+		}
+	case KindLoad:
+		arg(in.Rd.String())
+		arg(addr())
+	case KindStore:
+		arg(addr())
+		arg(in.Rs3.String())
+	case KindBranch:
+		arg(in.Rs1.String())
+		arg(in.Rs2.String())
+		arg(fmt.Sprintf("0x%x", in.Target))
+	case KindJump, KindCall:
+		arg(fmt.Sprintf("0x%x", in.Target))
+	case KindJumpR, KindCallR:
+		arg(in.Rs1.String())
+	case KindFlush:
+		arg(addr())
+	case KindRDTSC:
+		arg(in.Rd.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+// Package iss is the functional reference interpreter (instruction set
+// simulator) for the ISA.  It executes programs in order with no
+// microarchitecture at all, and therefore defines the architectural
+// semantics the out-of-order core must match: the differential tests run
+// random programs on both and require identical final register and memory
+// state — speculation, runahead and the secure extensions must all be
+// architecturally invisible.
+package iss
+
+import (
+	"errors"
+	"fmt"
+
+	"specrun/internal/asm"
+	"specrun/internal/isa"
+	"specrun/internal/mem"
+)
+
+// ErrMaxSteps reports that the step budget was exhausted before HALT.
+var ErrMaxSteps = errors.New("iss: step budget exhausted")
+
+// Interp is the interpreter state.
+type Interp struct {
+	Prog *asm.Program
+	Mem  *mem.Memory
+
+	PC     uint64
+	IntReg [isa.NumIntRegs]uint64
+	FPReg  [isa.NumFPRegs]uint64
+	VecReg [isa.NumVecRegs][2]uint64
+
+	Steps  uint64
+	Halted bool
+}
+
+// New builds an interpreter for prog with data segments loaded into a fresh
+// memory image.
+func New(prog *asm.Program) *Interp {
+	m := mem.NewMemory()
+	prog.LoadInto(m)
+	return &Interp{Prog: prog, Mem: m, PC: prog.Base}
+}
+
+func (it *Interp) readReg(r isa.Reg) uint64 {
+	switch r.Class() {
+	case isa.ClassNone:
+		return 0 // absent operand (e.g. rs2 of immediate forms)
+	case isa.ClassInt:
+		if r.IsZero() {
+			return 0
+		}
+		return it.IntReg[r.Idx()]
+	case isa.ClassFP:
+		return it.FPReg[r.Idx()]
+	}
+	panic(fmt.Sprintf("iss: scalar read of %v", r))
+}
+
+func (it *Interp) writeReg(r isa.Reg, v uint64) {
+	switch r.Class() {
+	case isa.ClassInt:
+		if !r.IsZero() {
+			it.IntReg[r.Idx()] = v
+		}
+	case isa.ClassFP:
+		it.FPReg[r.Idx()] = v
+	default:
+		panic(fmt.Sprintf("iss: scalar write of %v", r))
+	}
+}
+
+// Step executes one instruction.  It reports whether execution may continue.
+func (it *Interp) Step() (bool, error) {
+	if it.Halted {
+		return false, nil
+	}
+	in, ok := it.Prog.InstAt(it.PC)
+	if !ok {
+		return false, fmt.Errorf("iss: pc %#x outside program text", it.PC)
+	}
+	it.Steps++
+	next := it.PC + isa.InstBytes
+
+	switch in.Op.Kind() {
+	case isa.KindALU:
+		switch in.Op.DestClass() {
+		case isa.ClassInt:
+			it.writeReg(in.Rd, isa.EvalALU(in.Op, it.readReg(in.Rs1), it.readReg(in.Rs2), in.Imm))
+		case isa.ClassFP:
+			it.writeReg(in.Rd, isa.EvalFP(in.Op, it.readReg(in.Rs1), it.readReg(in.Rs2), in.Imm))
+		case isa.ClassVec:
+			it.VecReg[in.Rd.Idx()] = isa.EvalVec(in.Op, it.VecReg[in.Rs1.Idx()], it.VecReg[in.Rs2.Idx()])
+		}
+	case isa.KindLoad:
+		addr := isa.EffAddr(in, it.readReg(in.Rs1), it.indexVal(in))
+		switch in.Op {
+		case isa.VLD:
+			it.VecReg[in.Rd.Idx()] = [2]uint64{it.Mem.ReadU64(addr), it.Mem.ReadU64(addr + 8)}
+		default:
+			it.writeReg(in.Rd, it.Mem.Read(addr, in.Op.MemSize()))
+		}
+	case isa.KindStore:
+		addr := isa.EffAddr(in, it.readReg(in.Rs1), it.indexVal(in))
+		switch in.Op {
+		case isa.VST:
+			v := it.VecReg[in.Rs3.Idx()]
+			it.Mem.WriteU64(addr, v[0])
+			it.Mem.WriteU64(addr+8, v[1])
+		default:
+			it.Mem.Write(addr, in.Op.MemSize(), it.readReg(in.Rs3))
+		}
+	case isa.KindBranch:
+		if isa.CondTaken(in.Op, it.readReg(in.Rs1), it.readReg(in.Rs2)) {
+			next = in.Target
+		}
+	case isa.KindJump:
+		next = in.Target
+	case isa.KindJumpR:
+		next = it.readReg(in.Rs1)
+	case isa.KindCall, isa.KindCallR:
+		sp := it.readReg(isa.SP) - 8
+		it.Mem.WriteU64(sp, it.PC+isa.InstBytes)
+		it.writeReg(isa.SP, sp)
+		if in.Op.Kind() == isa.KindCall {
+			next = in.Target
+		} else {
+			next = it.readReg(in.Rs1)
+		}
+	case isa.KindRet:
+		sp := it.readReg(isa.SP)
+		next = it.Mem.ReadU64(sp)
+		it.writeReg(isa.SP, sp+8)
+	case isa.KindRDTSC:
+		it.writeReg(in.Rd, it.Steps)
+	case isa.KindFlush, isa.KindNop, isa.KindFence:
+		// Architecturally invisible.
+	case isa.KindHalt:
+		it.Halted = true
+		return false, nil
+	default:
+		return false, fmt.Errorf("iss: cannot execute %s at %#x", in.Op, it.PC)
+	}
+	it.PC = next
+	return true, nil
+}
+
+func (it *Interp) indexVal(in isa.Inst) uint64 {
+	if in.UsesIndex() {
+		return it.readReg(in.Rs2)
+	}
+	return 0
+}
+
+// Run executes until HALT or the step budget is exhausted.
+func (it *Interp) Run(maxSteps uint64) error {
+	for it.Steps < maxSteps {
+		cont, err := it.Step()
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	if !it.Halted {
+		return ErrMaxSteps
+	}
+	return nil
+}

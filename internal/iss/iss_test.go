@@ -1,0 +1,231 @@
+package iss
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"specrun/internal/asm"
+	"specrun/internal/isa"
+)
+
+func run(t *testing.T, src string) *Interp {
+	t.Helper()
+	p, err := asm.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := New(p)
+	if err := it.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestALUOps(t *testing.T) {
+	it := run(t, `
+		movi r1, 7
+		movi r2, 3
+		add  r3, r1, r2
+		sub  r4, r1, r2
+		mul  r5, r1, r2
+		div  r6, r1, r2
+		and  r7, r1, r2
+		or   r8, r1, r2
+		xor  r9, r1, r2
+		shli r10, r1, 4
+		shri r11, r10, 2
+		div  r12, r1, r0
+		halt`)
+	want := map[int]uint64{3: 10, 4: 4, 5: 21, 6: 2, 7: 3, 8: 7, 9: 4, 10: 112, 11: 28, 12: ^uint64(0)}
+	for idx, v := range want {
+		if it.IntReg[idx] != v {
+			t.Errorf("r%d = %d, want %d", idx, it.IntReg[idx], v)
+		}
+	}
+}
+
+func TestZeroRegister(t *testing.T) {
+	it := run(t, `
+		addi r0, r0, 99
+		add  r1, r0, r0
+		halt`)
+	if it.IntReg[0] != 0 || it.IntReg[1] != 0 {
+		t.Fatalf("r0 = %d r1 = %d, want 0", it.IntReg[0], it.IntReg[1])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	it := run(t, `
+		.data 0x100000
+		buf: .zero 64
+		start:
+		movi r1, buf
+		movi r2, 0x1122334455667788
+		st   [r1 + 0], r2
+		ld   r3, [r1 + 0]
+		ldb  r4, [r1 + 1]
+		movi r5, 0xff
+		stb  [r1 + 8], r5
+		ld   r6, [r1 + 8]
+		movi r7, 2
+		ldx  r8, [r1 + r7*4 + 0]
+		halt`)
+	if it.IntReg[3] != 0x1122334455667788 {
+		t.Fatalf("r3 = %#x", it.IntReg[3])
+	}
+	if it.IntReg[4] != 0x77 {
+		t.Fatalf("ldb zero-extend: r4 = %#x", it.IntReg[4])
+	}
+	if it.IntReg[6] != 0xff {
+		t.Fatalf("stb: r6 = %#x", it.IntReg[6])
+	}
+	if it.IntReg[8] != it.Mem.ReadU64(it.Prog.MustSym("buf")+8) {
+		t.Fatalf("ldx addressing wrong: %#x", it.IntReg[8])
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	it := run(t, `
+		movi r1, 10
+		movi r2, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt`)
+	if it.IntReg[2] != 55 {
+		t.Fatalf("sum = %d, want 55", it.IntReg[2])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	it := run(t, `
+		.data 0x100000
+		stack: .zero 1024
+		start:
+		movi sp, stack
+		addi sp, sp, 1024
+		movi r1, 5
+		call double
+		call double
+		halt
+	double:
+		add r1, r1, r1
+		ret`)
+	if it.IntReg[1] != 20 {
+		t.Fatalf("r1 = %d, want 20", it.IntReg[1])
+	}
+	// Stack pointer balanced.
+	if got := it.IntReg[isa.SP.Idx()]; got != it.Prog.MustSym("stack")+1024 {
+		t.Fatalf("sp = %#x", got)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	it := run(t, `
+		.data 0x100000
+		stack: .zero 1024
+		start:
+		movi sp, stack
+		addi sp, sp, 1024
+		movi r1, 1
+		call a
+		halt
+	a:
+		addi r1, r1, 10
+		call b
+		addi r1, r1, 100
+		ret
+	b:
+		addi r1, r1, 1000
+		ret`)
+	if it.IntReg[1] != 1111 {
+		t.Fatalf("r1 = %d, want 1111", it.IntReg[1])
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	it := run(t, `
+		movi r1, tgt
+		jr   r1
+		movi r2, 1
+		halt
+	tgt:
+		movi r2, 2
+		halt`)
+	if it.IntReg[2] != 2 {
+		t.Fatalf("r2 = %d, want 2", it.IntReg[2])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	it := run(t, `
+		fmovi f1, 1.5
+		fmovi f2, 2.5
+		fadd  f3, f1, f2
+		fmul  f4, f1, f2
+		fsub  f5, f2, f1
+		fdiv  f6, f2, f1
+		halt`)
+	checks := map[int]float64{3: 4.0, 4: 3.75, 5: 1.0, 6: 2.5 / 1.5}
+	for idx, want := range checks {
+		got := float64frombits(it.FPReg[idx])
+		if got != want {
+			t.Errorf("f%d = %g, want %g", idx, got, want)
+		}
+	}
+}
+
+func TestVector(t *testing.T) {
+	it := run(t, `
+		.data 0x100000
+		vbuf: .u64 1, 2, 3, 4
+		start:
+		movi r1, vbuf
+		vld  v1, [r1 + 0]
+		vld  v2, [r1 + 16]
+		vaddq v3, v1, v2
+		vst  [r1 + 32], v3
+		halt`)
+	base := it.Prog.MustSym("vbuf")
+	if it.Mem.ReadU64(base+32) != 4 || it.Mem.ReadU64(base+40) != 6 {
+		t.Fatalf("vector add wrong: %d %d", it.Mem.ReadU64(base+32), it.Mem.ReadU64(base+40))
+	}
+}
+
+func TestRDTSCCountsSteps(t *testing.T) {
+	it := run(t, `
+		rdtsc r1
+		nop
+		nop
+		rdtsc r2
+		halt`)
+	if it.IntReg[2] <= it.IntReg[1] {
+		t.Fatalf("rdtsc not monotonic: %d then %d", it.IntReg[1], it.IntReg[2])
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	p, err := asm.Parse("t", "loop: jmp loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := New(p)
+	if err := it.Run(100); !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+}
+
+func TestPCOutsideText(t *testing.T) {
+	p, err := asm.Parse("t", "nop") // falls off the end
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := New(p)
+	if err := it.Run(100); err == nil {
+		t.Fatal("running off the end must error")
+	}
+}
+
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,193 @@
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name    string
+	Size    int // total bytes
+	Assoc   int // ways per set
+	Latency int // access latency in cycles
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64
+	Evictions   uint64
+	Invalidates uint64
+}
+
+type line struct {
+	addr     uint64 // line-aligned address; the full address doubles as tag
+	valid    bool
+	dirty    bool
+	lru      uint64 // higher = more recently used
+	fillDone uint64 // cycle at which the fill data arrives (MSHR merge point)
+}
+
+// Cache is one set-associative, LRU, write-back cache level.  It tracks tags
+// and fill timing only; data lives in the functional Memory.
+type Cache struct {
+	cfg      CacheConfig
+	lineSize int
+	numSets  int
+	sets     []line // numSets * Assoc, laid out set-major
+	lruClock uint64
+
+	Stats CacheStats
+}
+
+// NewCache builds a cache.  Size must be a multiple of Assoc*lineSize and the
+// set count must be a power of two.
+func NewCache(cfg CacheConfig, lineSize int) *Cache {
+	if cfg.Size <= 0 || cfg.Assoc <= 0 || lineSize <= 0 {
+		panic(fmt.Sprintf("mem: bad cache config %+v line %d", cfg, lineSize))
+	}
+	numSets := cfg.Size / (cfg.Assoc * lineSize)
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("mem: %s: set count %d is not a power of two", cfg.Name, numSets))
+	}
+	return &Cache{
+		cfg:      cfg,
+		lineSize: lineSize,
+		numSets:  numSets,
+		sets:     make([]line, numSets*cfg.Assoc),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// NumSets reports the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+func (c *Cache) set(lineAddr uint64) []line {
+	idx := (lineAddr / uint64(c.lineSize)) & uint64(c.numSets-1)
+	return c.sets[idx*uint64(c.cfg.Assoc) : (idx+1)*uint64(c.cfg.Assoc)]
+}
+
+// Lookup checks for lineAddr.  On a hit it updates LRU state and returns the
+// cycle at which the data is available (later than now for an in-flight fill
+// that a second miss merged into, i.e. an MSHR secondary miss).
+func (c *Cache) Lookup(lineAddr, now uint64) (hit bool, readyAt uint64) {
+	s := c.set(lineAddr)
+	for i := range s {
+		if s[i].valid && s[i].addr == lineAddr {
+			c.lruClock++
+			s[i].lru = c.lruClock
+			c.Stats.Hits++
+			ready := now
+			if s[i].fillDone > now {
+				ready = s[i].fillDone
+			}
+			return true, ready
+		}
+	}
+	c.Stats.Misses++
+	return false, 0
+}
+
+// Probe reports presence without perturbing LRU or statistics.  Used by the
+// harness and by the secure runahead mode's side-effect-free checks.
+func (c *Cache) Probe(lineAddr uint64) bool {
+	s := c.set(lineAddr)
+	for i := range s {
+		if s[i].valid && s[i].addr == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbeReady reports presence and the fill-completion cycle.
+func (c *Cache) ProbeReady(lineAddr uint64) (present bool, fillDone uint64) {
+	s := c.set(lineAddr)
+	for i := range s {
+		if s[i].valid && s[i].addr == lineAddr {
+			return true, s[i].fillDone
+		}
+	}
+	return false, 0
+}
+
+// Insert installs lineAddr with the given fill-completion cycle, evicting the
+// LRU victim if needed.  It returns the evicted line address and whether the
+// victim was dirty (for write-back traffic accounting).
+func (c *Cache) Insert(lineAddr, fillDone uint64, dirty bool) (evicted uint64, evictedDirty, hadVictim bool) {
+	s := c.set(lineAddr)
+	victim := -1
+	for i := range s {
+		if s[i].valid && s[i].addr == lineAddr {
+			// Refill of a present line (e.g. write after read miss merge).
+			victim = i
+			hadVictim = false
+			goto install
+		}
+	}
+	for i := range s {
+		if !s[i].valid {
+			victim = i
+			goto install
+		}
+	}
+	victim = 0
+	for i := 1; i < len(s); i++ {
+		if s[i].lru < s[victim].lru {
+			victim = i
+		}
+	}
+	evicted, evictedDirty, hadVictim = s[victim].addr, s[victim].dirty, true
+	c.Stats.Evictions++
+
+install:
+	c.lruClock++
+	prevDirty := s[victim].valid && s[victim].addr == lineAddr && s[victim].dirty
+	s[victim] = line{addr: lineAddr, valid: true, dirty: dirty || prevDirty, lru: c.lruClock, fillDone: fillDone}
+	c.Stats.Fills++
+	return evicted, evictedDirty, hadVictim
+}
+
+// SetDirty marks a present line dirty (store hit).
+func (c *Cache) SetDirty(lineAddr uint64) {
+	s := c.set(lineAddr)
+	for i := range s {
+		if s[i].valid && s[i].addr == lineAddr {
+			s[i].dirty = true
+			return
+		}
+	}
+}
+
+// Invalidate removes lineAddr if present and reports whether it was.
+func (c *Cache) Invalidate(lineAddr uint64) bool {
+	s := c.set(lineAddr)
+	for i := range s {
+		if s[i].valid && s[i].addr == lineAddr {
+			s[i] = line{}
+			c.Stats.Invalidates++
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll empties the cache (used between simulations).
+func (c *Cache) InvalidateAll() {
+	for i := range c.sets {
+		c.sets[i] = line{}
+	}
+}
+
+// Occupancy reports the number of valid lines in the set holding lineAddr
+// (for property tests: never exceeds associativity).
+func (c *Cache) Occupancy(lineAddr uint64) int {
+	n := 0
+	for _, l := range c.set(lineAddr) {
+		if l.valid {
+			n++
+		}
+	}
+	return n
+}

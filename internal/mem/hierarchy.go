@@ -1,0 +1,293 @@
+package mem
+
+import "fmt"
+
+// Level identifies where in the hierarchy an access was served.
+type Level uint8
+
+const (
+	LevelNone Level = iota
+	LevelL1
+	LevelL2
+	LevelL3
+	LevelMem
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "mem"
+	default:
+		return "none"
+	}
+}
+
+// Port selects the first-level cache used by an access.
+type Port uint8
+
+const (
+	// PortI is the instruction-fetch port (L1 I-cache).
+	PortI Port = iota
+	// PortD is the data port (L1 D-cache).
+	PortD
+)
+
+// Config describes the whole hierarchy.  The defaults follow Table 1 of the
+// paper: 16KB 4-way L1s (2 cycles), 128KB 8-way L2 (8 cycles), 4MB 8-way L3
+// (32 cycles), and a request-based contention model with a 200-cycle memory.
+type Config struct {
+	LineSize          int
+	L1I, L1D, L2, L3  CacheConfig
+	MemLatency        int // DRAM access latency in cycles
+	MemBusCycles      int // per-request channel occupancy (contention)
+	MemMaxOutstanding int // maximum in-flight memory requests (MSHR-like)
+}
+
+// DefaultConfig returns the Table 1 memory configuration.
+func DefaultConfig() Config {
+	return Config{
+		LineSize:          64,
+		L1I:               CacheConfig{Name: "L1I", Size: 16 << 10, Assoc: 4, Latency: 2},
+		L1D:               CacheConfig{Name: "L1D", Size: 16 << 10, Assoc: 4, Latency: 2},
+		L2:                CacheConfig{Name: "L2", Size: 128 << 10, Assoc: 8, Latency: 8},
+		L3:                CacheConfig{Name: "L3", Size: 4 << 20, Assoc: 8, Latency: 32},
+		MemLatency:        200,
+		MemBusCycles:      4,
+		MemMaxOutstanding: 16,
+	}
+}
+
+// Result reports the outcome of a timing access.
+type Result struct {
+	Done  uint64 // cycle at which the data is available
+	Level Level  // level that served the access (LevelMem on a full miss)
+}
+
+// HierarchyStats aggregates memory-controller statistics.
+type HierarchyStats struct {
+	MemRequests uint64
+	Writebacks  uint64
+	Flushes     uint64
+}
+
+// Hierarchy is the full cache/memory timing model: split L1s, unified
+// inclusive L2 and L3, and a contended memory channel.
+type Hierarchy struct {
+	cfg      Config
+	l1i, l1d *Cache
+	l2, l3   *Cache
+
+	busFree  uint64   // next cycle the memory channel can accept a request
+	inflight []uint64 // completion cycles of outstanding memory requests
+
+	Stats HierarchyStats
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("mem: line size %d is not a power of two", cfg.LineSize))
+	}
+	if cfg.MemMaxOutstanding <= 0 {
+		cfg.MemMaxOutstanding = 16
+	}
+	return &Hierarchy{
+		cfg: cfg,
+		l1i: NewCache(cfg.L1I, cfg.LineSize),
+		l1d: NewCache(cfg.L1D, cfg.LineSize),
+		l2:  NewCache(cfg.L2, cfg.LineSize),
+		l3:  NewCache(cfg.L3, cfg.LineSize),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// LineAddr aligns addr down to its cache line.
+func (h *Hierarchy) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(h.cfg.LineSize-1)
+}
+
+// Caches returns the four cache levels (L1I, L1D, L2, L3) for stats readers.
+func (h *Hierarchy) Caches() (l1i, l1d, l2, l3 *Cache) { return h.l1i, h.l1d, h.l2, h.l3 }
+
+func (h *Hierarchy) l1(port Port) *Cache {
+	if port == PortI {
+		return h.l1i
+	}
+	return h.l1d
+}
+
+// memRequest reserves a memory-channel slot at or after earliest and returns
+// the cycle the request starts service.  This is the "request-based
+// contention model" from Table 1: requests serialise on channel occupancy
+// and on the outstanding-request window.
+func (h *Hierarchy) memRequest(earliest uint64) uint64 {
+	// Drop completed requests from the outstanding window.
+	live := h.inflight[:0]
+	for _, d := range h.inflight {
+		if d > earliest {
+			live = append(live, d)
+		}
+	}
+	h.inflight = live
+	start := earliest
+	if len(h.inflight) >= h.cfg.MemMaxOutstanding {
+		oldest := h.inflight[0]
+		for _, d := range h.inflight[1:] {
+			if d < oldest {
+				oldest = d
+			}
+		}
+		if oldest > start {
+			start = oldest
+		}
+	}
+	if h.busFree > start {
+		start = h.busFree
+	}
+	h.busFree = start + uint64(h.cfg.MemBusCycles)
+	done := start + uint64(h.cfg.MemLatency)
+	h.inflight = append(h.inflight, done)
+	h.Stats.MemRequests++
+	return done
+}
+
+func (h *Hierarchy) writeback() {
+	h.Stats.Writebacks++
+	if h.busFree < uint64(h.cfg.MemBusCycles) {
+		h.busFree = 0
+	}
+	h.busFree += uint64(h.cfg.MemBusCycles)
+}
+
+func (h *Hierarchy) install(c *Cache, lineAddr, fillDone uint64, dirty bool) {
+	_, evictedDirty, had := c.Insert(lineAddr, fillDone, dirty)
+	if had && evictedDirty {
+		h.writeback()
+	}
+}
+
+// Access performs a timing access at cycle now.  On a miss the line is
+// installed in every level (inclusive fill) with the fill-completion cycle;
+// a second access to an in-flight line merges into the pending fill (MSHR
+// behaviour).  Fills persist regardless of later pipeline squashes — this is
+// the microarchitectural side channel.
+func (h *Hierarchy) Access(port Port, addr, now uint64, write bool) Result {
+	la := h.LineAddr(addr)
+	l1 := h.l1(port)
+
+	lat := now + uint64(l1.Config().Latency)
+	if hit, ready := l1.Lookup(la, now); hit {
+		if write {
+			l1.SetDirty(la)
+		}
+		return Result{Done: maxU64(lat, ready), Level: LevelL1}
+	}
+
+	lat += uint64(h.l2.Config().Latency)
+	if hit, ready := h.l2.Lookup(la, now); hit {
+		done := maxU64(lat, ready)
+		h.install(l1, la, done, write)
+		return Result{Done: done, Level: LevelL2}
+	}
+
+	lat += uint64(h.l3.Config().Latency)
+	if hit, ready := h.l3.Lookup(la, now); hit {
+		done := maxU64(lat, ready)
+		h.install(h.l2, la, done, false)
+		h.install(l1, la, done, write)
+		return Result{Done: done, Level: LevelL3}
+	}
+
+	done := h.memRequest(lat)
+	h.install(h.l3, la, done, false)
+	h.install(h.l2, la, done, false)
+	h.install(l1, la, done, write)
+	return Result{Done: done, Level: LevelMem}
+}
+
+// AccessNoFill computes the timing of an access without changing any cache
+// state (no fills, no promotions, no LRU updates).  It is used by the secure
+// runahead mode: loads issued during runahead must stay invisible in the
+// hierarchy, so misses are timed (the memory request is real and contends for
+// the channel) but the line is *not* installed — the caller places it in the
+// SL cache instead.
+func (h *Hierarchy) AccessNoFill(port Port, addr, now uint64) Result {
+	la := h.LineAddr(addr)
+	l1 := h.l1(port)
+
+	lat := now + uint64(l1.Config().Latency)
+	if ok, fill := l1.ProbeReady(la); ok {
+		return Result{Done: maxU64(lat, fill), Level: LevelL1}
+	}
+	lat += uint64(h.l2.Config().Latency)
+	if ok, fill := h.l2.ProbeReady(la); ok {
+		return Result{Done: maxU64(lat, fill), Level: LevelL2}
+	}
+	lat += uint64(h.l3.Config().Latency)
+	if ok, fill := h.l3.ProbeReady(la); ok {
+		return Result{Done: maxU64(lat, fill), Level: LevelL3}
+	}
+	done := h.memRequest(lat)
+	return Result{Done: done, Level: LevelMem}
+}
+
+// Flush evicts the line containing addr from every level (CLFLUSH).  It
+// reports whether the line was present anywhere.
+func (h *Hierarchy) Flush(addr uint64) bool {
+	la := h.LineAddr(addr)
+	any := false
+	for _, c := range []*Cache{h.l1i, h.l1d, h.l2, h.l3} {
+		if c.Invalidate(la) {
+			any = true
+		}
+	}
+	h.Stats.Flushes++
+	return any
+}
+
+// HitLevel reports the highest level currently holding addr, without
+// perturbing any state.  The harness uses it to inspect covert-channel
+// residue; it is not visible to simulated programs.
+func (h *Hierarchy) HitLevel(port Port, addr uint64) Level {
+	la := h.LineAddr(addr)
+	if h.l1(port).Probe(la) {
+		return LevelL1
+	}
+	if h.l2.Probe(la) {
+		return LevelL2
+	}
+	if h.l3.Probe(la) {
+		return LevelL3
+	}
+	return LevelMem
+}
+
+// Present reports whether addr is cached at any level on the given port side.
+func (h *Hierarchy) Present(port Port, addr uint64) bool {
+	return h.HitLevel(port, addr) != LevelMem
+}
+
+// InvalidateAll cold-starts every cache (between experiment runs).
+func (h *Hierarchy) InvalidateAll() {
+	h.l1i.InvalidateAll()
+	h.l1d.InvalidateAll()
+	h.l2.InvalidateAll()
+	h.l3.InvalidateAll()
+	h.busFree = 0
+	h.inflight = h.inflight[:0]
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

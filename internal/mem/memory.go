@@ -1,0 +1,107 @@
+// Package mem models the memory subsystem of the simulated processor: a flat
+// functional memory image (committed architectural state), the timing caches
+// (L1I, L1D, unified L2 and L3 per Table 1 of the paper), a request-based
+// contention model for main memory, and the runahead cache used to hold
+// pseudo-retired store data during runahead mode.
+//
+// The design is a classic decoupled functional/timing split: caches track
+// tags and fill timing only, while data values live in Memory (plus the store
+// queues and the runahead cache inside the CPU model).  Cache fills survive
+// pipeline squashes, which is exactly the transient-execution side channel
+// SPECRUN exploits.
+package mem
+
+import "encoding/binary"
+
+const pageSize = 1 << 12
+
+type page [pageSize]byte
+
+// Memory is a sparse, byte-addressable functional memory image.  It holds
+// committed architectural state only; speculative stores are buffered in the
+// CPU's store queue and runahead stores in the RunaheadCache.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory image.  Unwritten bytes read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	base := addr &^ (pageSize - 1)
+	p := m.pages[base]
+	if p == nil && create {
+		p = new(page)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (m *Memory) ByteAt(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr%pageSize]
+}
+
+// SetByte stores b at addr.
+func (m *Memory) SetByte(addr uint64, b byte) {
+	m.pageFor(addr, true)[addr%pageSize] = b
+}
+
+// Read returns size bytes starting at addr as a little-endian integer.
+// size must be 1..8.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadU64 reads a 64-bit little-endian word.
+func (m *Memory) ReadU64(addr uint64) uint64 { return m.Read(addr, 8) }
+
+// WriteU64 writes a 64-bit little-endian word.
+func (m *Memory) WriteU64(addr uint64, v uint64) { m.Write(addr, 8, v) }
+
+// SetBytes copies b into memory starting at addr.
+func (m *Memory) SetBytes(addr uint64, b []byte) {
+	for i, c := range b {
+		m.SetByte(addr+uint64(i), c)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = m.ByteAt(addr + uint64(i))
+	}
+	return b
+}
+
+// ReadU64Slice reads n consecutive 64-bit words starting at addr.
+func (m *Memory) ReadU64Slice(addr uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = m.ReadU64(addr + uint64(i)*8)
+	}
+	return out
+}
+
+// Footprint reports the number of allocated pages (for tests).
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+var _ = binary.LittleEndian // documents the byte order used throughout

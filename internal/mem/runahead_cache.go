@@ -1,0 +1,88 @@
+package mem
+
+// RunaheadCache buffers the data of stores that pseudo-retire during runahead
+// mode (Mutlu et al., HPCA'03, as summarised in §2.1 of the SPECRUN paper).
+// Runahead stores must not reach architectural memory — they are discarded on
+// runahead exit — but younger runahead loads need to observe them to compute
+// further addresses.  Each byte carries an INV bit so that poisoned store
+// data poisons dependent loads.
+//
+// The structure is a bounded byte-granular map; when full, new writes evict
+// in insertion order (the real hardware is a tiny 512B cache — precision of
+// the eviction policy is irrelevant to the attack and performance shapes).
+type RunaheadCache struct {
+	cap   int
+	data  map[uint64]raByte
+	order []uint64
+
+	Writes uint64
+	Reads  uint64
+}
+
+type raByte struct {
+	b   byte
+	inv bool
+}
+
+// NewRunaheadCache returns a runahead cache bounded to capBytes bytes.
+func NewRunaheadCache(capBytes int) *RunaheadCache {
+	if capBytes <= 0 {
+		capBytes = 512
+	}
+	return &RunaheadCache{cap: capBytes, data: make(map[uint64]raByte, capBytes)}
+}
+
+// Write stores the low size bytes of v at addr.  inv marks the data as
+// poisoned (store with an INV source).
+func (rc *RunaheadCache) Write(addr uint64, size int, v uint64, inv bool) {
+	rc.Writes++
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		if _, ok := rc.data[a]; !ok {
+			if len(rc.data) >= rc.cap {
+				// Evict the oldest byte.
+				victim := rc.order[0]
+				rc.order = rc.order[1:]
+				delete(rc.data, victim)
+			}
+			rc.order = append(rc.order, a)
+		}
+		rc.data[a] = raByte{b: byte(v >> (8 * i)), inv: inv}
+	}
+}
+
+// Read fetches size bytes at addr.  present is true only if every byte is
+// buffered here; inv is true if any byte is poisoned.
+func (rc *RunaheadCache) Read(addr uint64, size int) (v uint64, present, inv bool) {
+	rc.Reads++
+	present = true
+	for i := 0; i < size; i++ {
+		e, ok := rc.data[addr+uint64(i)]
+		if !ok {
+			return 0, false, false
+		}
+		v |= uint64(e.b) << (8 * i)
+		inv = inv || e.inv
+	}
+	return v, present, inv
+}
+
+// Covers reports whether any byte of [addr, addr+size) is buffered; such
+// loads cannot simply bypass to memory.
+func (rc *RunaheadCache) Covers(addr uint64, size int) bool {
+	for i := 0; i < size; i++ {
+		if _, ok := rc.data[addr+uint64(i)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Clear empties the cache (on runahead exit).
+func (rc *RunaheadCache) Clear() {
+	clear(rc.data)
+	rc.order = rc.order[:0]
+}
+
+// Len reports the number of buffered bytes.
+func (rc *RunaheadCache) Len() int { return len(rc.data) }

@@ -1,0 +1,269 @@
+// Package proggen generates random, terminating programs for differential
+// testing: the out-of-order core (in every runahead/secure configuration)
+// must produce exactly the architectural state the in-order reference
+// interpreter produces, or speculation has leaked architecturally.
+//
+// Generated programs use bounded countdown loops, forward branches, calls
+// with a real memory stack, byte/word loads and stores confined to a scratch
+// buffer, vector ops, and clflush (which perturbs timing and triggers
+// runahead episodes without any architectural effect).
+package proggen
+
+import (
+	"math/rand"
+
+	"specrun/internal/asm"
+	"specrun/internal/isa"
+)
+
+// Options bounds program shape.
+type Options struct {
+	Len        int  // approximate instruction count of the main body
+	Loops      bool // allow bounded countdown loops
+	Calls      bool // allow call/ret pairs
+	Flushes    bool // allow clflush (triggers runahead on the OoO core)
+	Vector     bool // allow 128-bit vector ops
+	FloatOps   bool // allow FP arithmetic
+	BufBytes   int  // scratch buffer size (power of two)
+	StackBytes int
+}
+
+// DefaultOptions covers the whole ISA.
+func DefaultOptions() Options {
+	return Options{
+		Len:        60,
+		Loops:      true,
+		Calls:      true,
+		Flushes:    true,
+		Vector:     true,
+		FloatOps:   true,
+		BufBytes:   4096,
+		StackBytes: 1024,
+	}
+}
+
+// Generate builds a random program from seed.  The returned program halts
+// within a bounded number of steps by construction.
+func Generate(seed int64, opt Options) *asm.Program {
+	if opt.BufBytes == 0 {
+		opt = DefaultOptions()
+	}
+	g := &gen{
+		rng: rand.New(rand.NewSource(seed)),
+		b:   asm.NewBuilder(0x1000, 0x100000),
+		opt: opt,
+	}
+	return g.run()
+}
+
+type gen struct {
+	rng    *rand.Rand
+	b      *asm.Builder
+	opt    Options
+	nLabel int
+	funcs  []string
+}
+
+// Register conventions: r1..r10 data, r11/r12 loop counters, r20 buffer
+// base, sp stack.  f1..f6 and v1..v4 for FP/vector.
+func (g *gen) run() *asm.Program {
+	buf := g.b.Alloc("buf", uint64(g.opt.BufBytes), 64)
+	stack := g.b.Alloc("stack", uint64(g.opt.StackBytes), 64)
+	// Pre-initialise the buffer with pseudo-random data.
+	initWords := make([]uint64, g.opt.BufBytes/8)
+	for i := range initWords {
+		initWords[i] = g.rng.Uint64()
+	}
+	g.b.U64(buf, initWords...)
+
+	g.b.MoviAddr(isa.SP, stack+uint64(g.opt.StackBytes))
+	g.b.MoviAddr(isa.R(20), buf)
+	for r := 1; r <= 10; r++ {
+		g.b.Movi(isa.R(r), int64(g.rng.Uint64()>>16))
+	}
+	if g.opt.FloatOps {
+		for r := 1; r <= 6; r++ {
+			g.b.Fmovi(isa.F(r), float64(g.rng.Intn(1000))+0.5)
+		}
+	}
+	if g.opt.Vector {
+		for r := 1; r <= 4; r++ {
+			g.b.Vld(isa.V(r), isa.R(20), int64(g.rng.Intn(g.opt.BufBytes/2))&^15)
+		}
+	}
+
+	// Declare up to three tiny leaf functions ahead of time.
+	if g.opt.Calls {
+		for i := 0; i < 3; i++ {
+			g.funcs = append(g.funcs, g.label("fn"))
+		}
+	}
+
+	g.block(g.opt.Len, 2)
+	g.b.Halt()
+
+	// Emit the leaf functions after the halt.
+	for _, name := range g.funcs {
+		g.b.Label(name)
+		for i := 0; i < 2+g.rng.Intn(4); i++ {
+			g.alu()
+		}
+		g.b.Ret()
+	}
+	return g.b.MustBuild()
+}
+
+func (g *gen) label(prefix string) string {
+	g.nLabel++
+	return prefix + "_" + itoa(g.nLabel)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func (g *gen) reg() isa.Reg  { return isa.R(1 + g.rng.Intn(10)) }
+func (g *gen) freg() isa.Reg { return isa.F(1 + g.rng.Intn(6)) }
+func (g *gen) vreg() isa.Reg { return isa.V(1 + g.rng.Intn(4)) }
+
+func (g *gen) bufOff(align int) int64 {
+	return int64(g.rng.Intn(g.opt.BufBytes-16)) &^ int64(align-1)
+}
+
+// block emits roughly n instructions, nesting at most depth control blocks.
+func (g *gen) block(n, depth int) {
+	for i := 0; i < n; i++ {
+		switch pick := g.rng.Intn(20); {
+		case pick < 8:
+			g.alu()
+		case pick < 11:
+			g.memOp()
+		case pick < 12 && g.opt.Flushes:
+			g.b.Clflush(isa.R(20), g.bufOff(1))
+		case pick < 14 && depth > 0:
+			g.ifBlock(depth - 1)
+		case pick < 15 && g.opt.Loops && depth > 0:
+			g.loop(depth - 1)
+		case pick < 16 && g.opt.Calls && len(g.funcs) > 0:
+			g.b.Call(g.funcs[g.rng.Intn(len(g.funcs))])
+		case pick < 17 && g.opt.FloatOps:
+			g.fpOp()
+		case pick < 18 && g.opt.Vector:
+			g.vecOp()
+		default:
+			g.alu()
+		}
+	}
+}
+
+func (g *gen) alu() {
+	rd, r1, r2 := g.reg(), g.reg(), g.reg()
+	switch g.rng.Intn(10) {
+	case 0:
+		g.b.Add(rd, r1, r2)
+	case 1:
+		g.b.Sub(rd, r1, r2)
+	case 2:
+		g.b.Mul(rd, r1, r2)
+	case 3:
+		g.b.Div(rd, r1, r2)
+	case 4:
+		g.b.And(rd, r1, r2)
+	case 5:
+		g.b.Or(rd, r1, r2)
+	case 6:
+		g.b.Xor(rd, r1, r2)
+	case 7:
+		g.b.Shli(rd, r1, int64(g.rng.Intn(8)))
+	case 8:
+		g.b.Shri(rd, r1, int64(g.rng.Intn(8)))
+	default:
+		g.b.Addi(rd, r1, int64(g.rng.Intn(64))-32)
+	}
+}
+
+func (g *gen) memOp() {
+	r := g.reg()
+	switch g.rng.Intn(4) {
+	case 0:
+		g.b.Ld(r, isa.R(20), g.bufOff(8))
+	case 1:
+		g.b.St(isa.R(20), g.bufOff(8), r)
+	case 2:
+		g.b.Ldb(r, isa.R(20), g.bufOff(1))
+	default:
+		g.b.Stb(isa.R(20), g.bufOff(1), r)
+	}
+}
+
+func (g *gen) fpOp() {
+	fd, f1, f2 := g.freg(), g.freg(), g.freg()
+	switch g.rng.Intn(5) {
+	case 0:
+		g.b.Fadd(fd, f1, f2)
+	case 1:
+		g.b.Fsub(fd, f1, f2)
+	case 2:
+		g.b.Fmul(fd, f1, f2)
+	case 3:
+		g.b.Fdiv(fd, f1, f2)
+	default:
+		g.b.Fld(fd, isa.R(20), g.bufOff(8))
+	}
+}
+
+func (g *gen) vecOp() {
+	switch g.rng.Intn(4) {
+	case 0:
+		g.b.Vld(g.vreg(), isa.R(20), g.bufOff(16))
+	case 1:
+		g.b.Vst(isa.R(20), g.bufOff(16), g.vreg())
+	case 2:
+		g.b.Vaddq(g.vreg(), g.vreg(), g.vreg())
+	default:
+		g.b.Vxorq(g.vreg(), g.vreg(), g.vreg())
+	}
+}
+
+// ifBlock emits a data-dependent forward branch over a small body — the
+// branch direction varies with generated data, exercising both prediction
+// outcomes and wrong-path execution.
+func (g *gen) ifBlock(depth int) {
+	end := g.label("endif")
+	r1, r2 := g.reg(), g.reg()
+	switch g.rng.Intn(4) {
+	case 0:
+		g.b.Beq(r1, r2, end)
+	case 1:
+		g.b.Bne(r1, r2, end)
+	case 2:
+		g.b.Blt(r1, r2, end)
+	default:
+		g.b.Bgeu(r1, r2, end)
+	}
+	g.block(2+g.rng.Intn(4), depth)
+	g.b.Label(end)
+}
+
+// loop emits a bounded countdown loop (2..5 iterations).  The counter
+// register is chosen by nesting depth so that nested loops can never clobber
+// an enclosing counter (which would break the termination bound).
+func (g *gen) loop(depth int) {
+	ctr := isa.R(11 + depth)
+	top := g.label("loop")
+	g.b.Movi(ctr, int64(2+g.rng.Intn(4)))
+	g.b.Label(top)
+	g.block(2+g.rng.Intn(4), depth)
+	g.b.Addi(ctr, ctr, -1)
+	g.b.Bne(ctr, isa.R(0), top)
+}

@@ -1,0 +1,69 @@
+package proggen
+
+import (
+	"testing"
+
+	"specrun/internal/iss"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, DefaultOptions())
+	b := Generate(7, DefaultOptions())
+	if len(a.Insts) != len(b.Insts) {
+		t.Fatal("same seed, different size")
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("same seed, different instruction at %d", i)
+		}
+	}
+	c := Generate(8, DefaultOptions())
+	same := len(a.Insts) == len(c.Insts)
+	if same {
+		for i := range a.Insts {
+			if a.Insts[i] != c.Insts[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+// Every generated program must terminate within a bounded step count on the
+// reference interpreter — the property the differential tests depend on.
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		prog := Generate(seed, DefaultOptions())
+		it := iss.New(prog)
+		if err := it.Run(5_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !it.Halted {
+			t.Fatalf("seed %d: did not halt", seed)
+		}
+	}
+}
+
+// Options subsets must generate valid programs too (used by focused tests).
+func TestGenerateOptionSubsets(t *testing.T) {
+	opts := []Options{
+		{Len: 30, BufBytes: 1024, StackBytes: 256},              // minimal
+		{Len: 40, Loops: true, BufBytes: 1024, StackBytes: 256}, // loops only
+		{Len: 40, Calls: true, BufBytes: 1024, StackBytes: 256}, // calls only
+		{Len: 40, Flushes: true, Vector: true, BufBytes: 2048, StackBytes: 256},
+	}
+	for i, o := range opts {
+		prog := Generate(int64(100+i), o)
+		it := iss.New(prog)
+		if err := it.Run(2_000_000); err != nil {
+			t.Fatalf("opts %d: %v", i, err)
+		}
+	}
+}

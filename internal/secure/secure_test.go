@@ -1,0 +1,350 @@
+package secure
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTaintSetBasics(t *testing.T) {
+	var ts TaintSet
+	if !ts.Empty() || ts.String() != "0" {
+		t.Fatal("zero TaintSet must be empty")
+	}
+	ts = ts.Add(1).Add(5)
+	if !ts.Has(1) || !ts.Has(5) || ts.Has(2) {
+		t.Fatal("membership wrong")
+	}
+	if ts.String() != "B1,B5" {
+		t.Fatalf("String = %q", ts.String())
+	}
+	u := ts.Union(TaintSet(0).Add(2))
+	if got := u.Members(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 5 {
+		t.Fatalf("Members = %v", got)
+	}
+}
+
+func TestQuickTaintAlgebra(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := TaintSet(a), TaintSet(b)
+		u := x.Union(y)
+		for _, n := range x.Members() {
+			if !u.Has(n) {
+				return false
+			}
+		}
+		for _, n := range y.Members() {
+			if !u.Has(n) {
+				return false
+			}
+		}
+		return u.Union(x) == u && x.Union(x) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBtagString(t *testing.T) {
+	if (Btag{}).String() != "0" {
+		t.Fatal("zero Btag must print 0")
+	}
+	if (Btag{N: 2, M: 1}).String() != "B2,1" {
+		t.Fatalf("got %q", (Btag{N: 2, M: 1}).String())
+	}
+}
+
+// Register ids for the Fig. 12 machine-code example.
+const (
+	rA uint16 = iota + 1
+	rB
+	rC
+	rD
+	rE
+	rF
+	rG
+	rH
+	rX
+	rY
+	r0
+	r1
+	r2
+	r3
+	r4
+	r5
+	r6
+	r7
+	r8
+	r9
+	r10
+	r11
+	r12
+	r13
+	r14
+)
+
+// TestFig12TaintMarking replays the exact machine-code sequence of Fig. 12
+// and checks every load's Btag and IS against the paper's table.
+func TestFig12TaintMarking(t *testing.T) {
+	tr := NewTracker()
+	// Program layout: one instruction per 4 bytes starting at 100.
+	// B1 spans (100, 200); B2 spans (124, 160) nested inside B1.
+	type loadCheck struct {
+		tag Btag
+		is  string
+	}
+	var got []loadCheck
+	pc := uint64(100)
+	step := func() uint64 { p := pc; pc += 4; return p }
+
+	// if (rX < size_1)  -- B1
+	p := step()
+	tr.Observe(p)
+	b1 := tr.RegisterBranch(p, 200, true, rX)
+	if b1 != 1 {
+		t.Fatalf("B1 id = %d", b1)
+	}
+	// load r0 <- (rA)
+	p = step()
+	tr.Observe(p)
+	tag, is := tr.OnLoad(p, tr.TaintOf(rA))
+	tr.SetTaint(r0, is)
+	got = append(got, loadCheck{tag, is.String()})
+	// r1 = rB + rX
+	p = step()
+	tr.Observe(p)
+	tr.Propagate(r1, rB, rX)
+	// load r2 <- (r1)
+	p = step()
+	tr.Observe(p)
+	tag, is = tr.OnLoad(p, tr.TaintOf(r1))
+	tr.SetTaint(r2, is)
+	got = append(got, loadCheck{tag, is.String()})
+	// r3 = rC * r2
+	p = step()
+	tr.Observe(p)
+	tr.Propagate(r3, rC, r2)
+	// if (rY < size_2)  -- B2 (nested: encountered before matching B1e)
+	p = step()
+	tr.Observe(p)
+	b2 := tr.RegisterBranch(p, 160, true, rY)
+	if b2 != 2 {
+		t.Fatalf("B2 id = %d", b2)
+	}
+	if !tr.InnerOf(2, 1) {
+		t.Fatal("B2 must be recorded as nested inside B1")
+	}
+	// r4 = rD - rY
+	p = step()
+	tr.Observe(p)
+	tr.Propagate(r4, rD, rY)
+	// load r5 <- (r4)
+	p = step()
+	tr.Observe(p)
+	tag, is = tr.OnLoad(p, tr.TaintOf(r4))
+	tr.SetTaint(r5, is)
+	got = append(got, loadCheck{tag, is.String()})
+	// r6 = r5 + r2
+	p = step()
+	tr.Observe(p)
+	tr.Propagate(r6, r5, r2)
+	// load r7 <- (r6)
+	p = step()
+	tr.Observe(p)
+	tag, is = tr.OnLoad(p, tr.TaintOf(r6))
+	tr.SetTaint(r7, is)
+	got = append(got, loadCheck{tag, is.String()})
+	// end of B2: jump the pc cursor past 160.
+	pc = 164
+	// r8 = r3 - rE
+	p = step()
+	tr.Observe(p)
+	tr.Propagate(r8, r3, rE)
+	// load r9 <- (r8)
+	p = step()
+	tr.Observe(p)
+	tag, is = tr.OnLoad(p, tr.TaintOf(r8))
+	tr.SetTaint(r9, is)
+	got = append(got, loadCheck{tag, is.String()})
+	// end of B1.
+	pc = 204
+	// r10 = rF + r9
+	p = step()
+	tr.Observe(p)
+	tr.Propagate(r10, rF, r9)
+	// load r11 <- (r10)
+	p = step()
+	tr.Observe(p)
+	tag, is = tr.OnLoad(p, tr.TaintOf(r10))
+	tr.SetTaint(r11, is)
+	got = append(got, loadCheck{tag, is.String()})
+	// r12 = rG * r7
+	p = step()
+	tr.Observe(p)
+	tr.Propagate(r12, rG, r7)
+	// load r13 <- (r12)
+	p = step()
+	tr.Observe(p)
+	tag, is = tr.OnLoad(p, tr.TaintOf(r12))
+	tr.SetTaint(r13, is)
+	got = append(got, loadCheck{tag, is.String()})
+	// load r14 <- (rH)
+	p = step()
+	tr.Observe(p)
+	tag, is = tr.OnLoad(p, tr.TaintOf(rH))
+	tr.SetTaint(r14, is)
+	got = append(got, loadCheck{tag, is.String()})
+
+	want := []loadCheck{
+		{Btag{1, 0}, "0"},     // load r0:  untainted, inside B1
+		{Btag{1, 1}, "B1"},    // load r2:  1st USL of B1
+		{Btag{2, 1}, "B2"},    // load r5:  1st USL of B2
+		{Btag{2, 2}, "B1,B2"}, // load r7:  2nd USL of B2, tainted by both
+		{Btag{1, 2}, "B1"},    // load r9:  2nd USL of B1
+		{Btag{0, 0}, "B1"},    // load r11: outside scopes, taint escaped B1
+		{Btag{0, 0}, "B1,B2"}, // load r13: outside scopes, taint escaped both
+		{Btag{0, 0}, "0"},     // load r14: clean
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d loads, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].tag != want[i].tag || got[i].is != want[i].is {
+			t.Errorf("load %d: Btag=%v IS=%s, want Btag=%v IS=%s",
+				i, got[i].tag, got[i].is, want[i].tag, want[i].is)
+		}
+	}
+}
+
+func TestTrackerBackwardBranchNoScope(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(100)
+	n := tr.RegisterBranch(100, 50, true, rX)
+	if n != 0 {
+		t.Fatalf("backward branch opened scope %d", n)
+	}
+	// The predicate register is still tainted.
+	if tr.TaintOf(rX).Empty() {
+		t.Fatal("backward branch must still taint its predicate")
+	}
+	tr.Observe(104)
+	tag, is := tr.OnLoad(104, tr.TaintOf(rX))
+	if tag.N != 0 || is.Empty() {
+		t.Fatalf("tag=%v is=%v", tag, is)
+	}
+}
+
+func TestSLCacheInstallLookupPromote(t *testing.T) {
+	c := NewSLCache(4)
+	c.Install(0x1000, 50)
+	if c.C() != 1 {
+		t.Fatalf("C = %d, want 1", c.C())
+	}
+	e, ok := c.Lookup(0x1000)
+	if !ok || e.FillDone != 50 {
+		t.Fatalf("lookup = %+v, %v", e, ok)
+	}
+	c.Promote(0x1000)
+	if c.C() != 0 {
+		t.Fatal("promote must drain the entry")
+	}
+	if _, ok := c.Lookup(0x1000); ok {
+		t.Fatal("promoted entry still present")
+	}
+	if c.Stats.Promoted != 1 {
+		t.Fatal("promotion not counted")
+	}
+}
+
+func TestSLCacheCapacity(t *testing.T) {
+	c := NewSLCache(2)
+	c.Install(0x40, 1)
+	c.Install(0x80, 2)
+	c.Install(0xc0, 3)
+	if c.C() != 2 {
+		t.Fatalf("C = %d, want 2", c.C())
+	}
+	if _, ok := c.Lookup(0x40); ok {
+		t.Fatal("oldest entry must be evicted")
+	}
+}
+
+func TestSLCacheDeleteRelated(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(100)
+	tr.RegisterBranch(100, 300, true, rX) // B1
+	tr.Observe(104)
+	tr.RegisterBranch(104, 200, true, rY) // B2 inside B1
+
+	c := NewSLCache(16)
+	// Entry tainted by B1 directly.
+	c.Install(0x1000, 1)
+	c.Tag(0x1000, Btag{1, 1}, TaintSet(0).Add(1))
+	// Entry belonging to the inner branch B2 only.
+	c.Install(0x2000, 1)
+	c.Tag(0x2000, Btag{2, 1}, TaintSet(0).Add(2))
+	// Untainted load inside B1's scope.
+	c.Install(0x3000, 1)
+	c.Tag(0x3000, Btag{1, 0}, 0)
+	// Clean entry outside everything.
+	c.Install(0x4000, 1)
+	c.Tag(0x4000, Btag{}, 0)
+
+	// B1 mispredicted: delete entries of B1 and of its inner branch B2.
+	d := c.DeleteRelated(1, tr.InnerOf)
+	if d != 3 {
+		t.Fatalf("deleted %d entries, want 3", d)
+	}
+	if _, ok := c.Lookup(0x4000); !ok {
+		t.Fatal("clean entry must survive")
+	}
+	if c.C() != 1 {
+		t.Fatalf("C = %d, want 1", c.C())
+	}
+}
+
+func TestSLCacheDeleteInnerOnly(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(100)
+	tr.RegisterBranch(100, 300, true, rX) // B1
+	tr.Observe(104)
+	tr.RegisterBranch(104, 200, true, rY) // B2 inside B1
+
+	c := NewSLCache(16)
+	c.Install(0x1000, 1)
+	c.Tag(0x1000, Btag{1, 1}, TaintSet(0).Add(1))
+	c.Install(0x2000, 1)
+	c.Tag(0x2000, Btag{2, 1}, TaintSet(0).Add(2))
+
+	// Only the inner branch mispredicted: B1's entries survive.
+	d := c.DeleteRelated(2, tr.InnerOf)
+	if d != 1 {
+		t.Fatalf("deleted %d, want 1", d)
+	}
+	if _, ok := c.Lookup(0x1000); !ok {
+		t.Fatal("outer branch entry must survive inner misprediction")
+	}
+}
+
+func TestSLCachePurgeUntagged(t *testing.T) {
+	c := NewSLCache(8)
+	c.Install(0x1000, 1)
+	c.Install(0x2000, 1)
+	c.Tag(0x2000, Btag{}, 0)
+	if n := c.PurgeUntagged(); n != 1 {
+		t.Fatalf("purged %d, want 1", n)
+	}
+	if _, ok := c.Lookup(0x2000); !ok {
+		t.Fatal("tagged entry must survive purge")
+	}
+}
+
+func TestSLCacheTagMerge(t *testing.T) {
+	c := NewSLCache(8)
+	c.Install(0x1000, 1)
+	c.Tag(0x1000, Btag{}, 0)
+	c.Tag(0x1000, Btag{1, 1}, TaintSet(0).Add(1))
+	e, _ := c.Lookup(0x1000)
+	if e.Btag.N != 1 || !e.IS.Has(1) {
+		t.Fatalf("merged tag = %+v", e)
+	}
+}

@@ -1,0 +1,213 @@
+// Package secure implements the secure runahead execution scheme of §6 of
+// the SPECRUN paper: a Speculative Load cache (SL cache) that hides runahead
+// fills from the memory hierarchy, a taint tracker that assigns the Btag and
+// IS tags of Fig. 12, and the post-exit load path of Algorithm 1 that gates
+// promotion of SL entries into L1 on branch resolution.
+package secure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TaintSet is a set of branch-scope identifiers (B1..B63) carried by data
+// derived from the predicate registers of unresolved branches.  The zero
+// value is the empty set ("not tainted").
+type TaintSet uint64
+
+// Add returns the set with Bn included.
+func (t TaintSet) Add(n int) TaintSet { return t | 1<<uint(n) }
+
+// Has reports whether Bn is in the set.
+func (t TaintSet) Has(n int) bool { return t&(1<<uint(n)) != 0 }
+
+// Union merges two sets.
+func (t TaintSet) Union(o TaintSet) TaintSet { return t | o }
+
+// Empty reports whether the set is empty (IS = 0 in the paper's notation).
+func (t TaintSet) Empty() bool { return t == 0 }
+
+// Members lists the branch ids in ascending order.
+func (t TaintSet) Members() []int {
+	var out []int
+	for n := 1; n < 64; n++ {
+		if t.Has(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (t TaintSet) String() string {
+	if t.Empty() {
+		return "0"
+	}
+	parts := make([]string, 0, 4)
+	for _, n := range t.Members() {
+		parts = append(parts, fmt.Sprintf("B%d", n))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Btag identifies a load's position relative to branch scopes, per Fig. 12:
+// Btag = B{n,m} marks the m'th unsafe speculative load (USL) within the
+// scope of branch Bn; m = 0 marks an untainted load inside the scope; the
+// zero Btag marks a load outside every branch scope.
+type Btag struct {
+	N int // branch scope id (0 = outside any scope)
+	M int // USL ordinal within the scope (0 = untainted)
+}
+
+func (b Btag) String() string {
+	if b.N == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("B%d,%d", b.N, b.M)
+}
+
+// Scope is one branch Bn with its static extent [Start, End) derived from
+// the compiled code (Bns and Bne in the paper's terminology).
+type Scope struct {
+	N         int
+	Start     uint64 // PC of the branch instruction (Bns)
+	End       uint64 // first PC past the branch body (Bne)
+	PredTaken bool   // direction predicted during runahead
+	Parent    int    // enclosing scope id, 0 if top level
+	Resolved  bool
+	Correct   bool
+}
+
+// Tracker performs the taint tracking of §6 during one runahead episode.
+// It observes pseudo-retired instructions in program order, maintains the
+// open-scope stack (matching Bne addresses, including the nested-branch rule
+// from the paper), propagates taint from the predicate registers of
+// unresolved branches, and produces the Btag and IS tags for every load.
+//
+// Register taints are keyed by an opaque register id supplied by the caller
+// (the CPU uses its architectural register numbering).
+type Tracker struct {
+	nextN    int
+	scopes   map[int]*Scope
+	open     []*Scope // innermost last
+	regTaint map[uint16]TaintSet
+	uslCount map[int]int
+}
+
+// NewTracker returns a tracker for a fresh runahead episode.
+func NewTracker() *Tracker {
+	return &Tracker{
+		scopes:   make(map[int]*Scope),
+		regTaint: make(map[uint16]TaintSet),
+		uslCount: make(map[int]int),
+	}
+}
+
+// Observe must be called with the PC of every pseudo-retired instruction
+// before the instruction's own hooks; it closes scopes whose end address has
+// been reached (the processor "matching Bne").
+func (t *Tracker) Observe(pc uint64) {
+	for len(t.open) > 0 {
+		in := t.open[len(t.open)-1]
+		if pc >= in.End || pc < in.Start {
+			t.open = t.open[:len(t.open)-1]
+			continue
+		}
+		break
+	}
+}
+
+// RegisterBranch opens a new scope Bn for an unresolved branch at pc whose
+// body extends to end, and taints the predicate registers.  Backward
+// branches (end <= pc) taint their predicates but open no scope, since the
+// paper's Bns/Bne matching is defined for forward bodies.  The scope id is
+// returned (0 if no scope was opened).
+func (t *Tracker) RegisterBranch(pc, end uint64, predTaken bool, predRegs ...uint16) int {
+	if t.nextN >= 63 {
+		return 0 // episode exhausted its tag space; remaining loads stay conservative
+	}
+	t.nextN++
+	n := t.nextN
+	for _, r := range predRegs {
+		t.regTaint[r] = t.regTaint[r].Add(n)
+	}
+	if end <= pc {
+		return 0
+	}
+	parent := 0
+	if len(t.open) > 0 {
+		parent = t.open[len(t.open)-1].N
+	}
+	s := &Scope{N: n, Start: pc, End: end, PredTaken: predTaken, Parent: parent}
+	t.scopes[n] = s
+	t.open = append(t.open, s)
+	return n
+}
+
+// TaintOf returns the current taint of a register.
+func (t *Tracker) TaintOf(reg uint16) TaintSet { return t.regTaint[reg] }
+
+// Propagate records that dest was computed from the given source registers:
+// dest's taint becomes the union of the sources' taints.
+func (t *Tracker) Propagate(dest uint16, srcs ...uint16) TaintSet {
+	var ts TaintSet
+	for _, s := range srcs {
+		ts = ts.Union(t.regTaint[s])
+	}
+	t.setTaint(dest, ts)
+	return ts
+}
+
+// SetTaint overrides a register's taint (used for load results, whose taint
+// is their address taint).
+func (t *Tracker) SetTaint(reg uint16, ts TaintSet) { t.setTaint(reg, ts) }
+
+func (t *Tracker) setTaint(reg uint16, ts TaintSet) {
+	if ts.Empty() {
+		delete(t.regTaint, reg)
+		return
+	}
+	t.regTaint[reg] = ts
+}
+
+// OnLoad computes the Btag and IS tags for a pseudo-retired load at pc whose
+// address registers carry addrTaint.  Per Fig. 12: inside scope Bn a tainted
+// load is B{n,m} (m counting USLs in that scope), an untainted load is
+// B{n,0}; outside any scope Btag is 0.  IS is the address taint itself.
+func (t *Tracker) OnLoad(pc uint64, addrTaint TaintSet) (Btag, TaintSet) {
+	var tag Btag
+	if len(t.open) > 0 {
+		in := t.open[len(t.open)-1]
+		tag.N = in.N
+		if !addrTaint.Empty() {
+			t.uslCount[in.N]++
+			tag.M = t.uslCount[in.N]
+		}
+	}
+	return tag, addrTaint
+}
+
+// Scopes returns all scopes opened during the episode, ordered by id.
+func (t *Tracker) Scopes() []*Scope {
+	out := make([]*Scope, 0, len(t.scopes))
+	for _, s := range t.scopes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].N < out[j].N })
+	return out
+}
+
+// Scope returns scope n, or nil.
+func (t *Tracker) Scope(n int) *Scope { return t.scopes[n] }
+
+// InnerOf reports whether scope m is nested (transitively) inside scope n.
+func (t *Tracker) InnerOf(m, n int) bool {
+	s := t.scopes[m]
+	for s != nil && s.Parent != 0 {
+		if s.Parent == n {
+			return true
+		}
+		s = t.scopes[s.Parent]
+	}
+	return false
+}

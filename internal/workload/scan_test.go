@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"specrun/internal/cpu"
+	"specrun/internal/isa"
+	"specrun/internal/runahead"
+)
+
+// TestScanParams is a tuning aid (run with -scan) that sweeps kernel
+// parameters and prints the runahead speedup for each point.
+func TestScanParams(t *testing.T) {
+	if os.Getenv("SPECRUN_SCAN") == "" {
+		t.Skip("tuning aid; set SPECRUN_SCAN=1 to run the parameter sweep")
+	}
+	run := func(s spec) (base, ra uint64) {
+		for i, kind := range []runahead.Kind{runahead.KindNone, runahead.KindOriginal} {
+			cfg := cpu.DefaultConfig()
+			cfg.Runahead.Kind = kind
+			c := cpu.New(cfg, emit(s))
+			if err := c.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				base = c.Stats().Cycles
+			} else {
+				ra = c.Stats().Cycles
+			}
+		}
+		return
+	}
+	for _, stride := range []int64{8, 12, 16, 24, 32, 48, 64} {
+		for _, filler := range []int{30, 60, 100} {
+			s := spec{
+				iters:   600,
+				stride:  stride,
+				streams: []isa.Reg{wB1, wB2, wB3},
+				filler:  filler,
+				fpWork:  3,
+				store:   true,
+			}
+			base, ra := run(s)
+			fmt.Printf("stride=%2d filler=%3d base=%6d ra=%6d ratio=%.3f\n",
+				stride, filler, base, ra, float64(base)/float64(ra))
+		}
+	}
+}

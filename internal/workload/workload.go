@@ -1,0 +1,274 @@
+// Package workload provides the six SPEC2006-like kernels used to reproduce
+// Fig. 7 of the SPECRUN paper (normalized IPC with and without runahead
+// execution).
+//
+// The real evaluation ran SPEC CPU2006 binaries (zeusmp, wrf, bwaves, lbm,
+// mcf, GemsFDTD) under Multi2Sim.  Those binaries cannot run on this ISA, so
+// each kernel below is a synthetic loop with the memory character the
+// benchmark is known for — streaming (bwaves, lbm), stencil (zeusmp, wrf,
+// GemsFDTD) and pointer chasing (mcf).  Loop bodies carry a realistic amount
+// of non-memory work (real SPEC iterations are 50–200 instructions), which
+// is what limits how many misses the 256-entry reorder buffer can overlap —
+// precisely the gap runahead execution exists to close.  Fig. 7 is a
+// *relative* comparison, which this preserves: runahead wins where bodies
+// are large and miss-dense, and wins little where compute dominates
+// (zeusmp/wrf) or where the miss chain is pointer-dependent (mcf).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"specrun/internal/asm"
+	"specrun/internal/isa"
+)
+
+// Kernel is a named workload generator.
+type Kernel struct {
+	Name  string
+	Descr string
+	Build func() *asm.Program
+}
+
+// Kernels returns the Fig. 7 benchmark list in the paper's order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{"zeusm", "stencil, compute-heavy body (modest miss density)", Zeusmp},
+		{"wrf", "two-stream sweep, mixed arithmetic", WRF},
+		{"bwave", "three-stream FP triad, unit stride", Bwaves},
+		{"lbm", "lattice update: five read streams, one write stream", LBM},
+		{"mcf", "pointer chasing with independent payload streams", MCF},
+		{"Gems", "FDTD-like large-stride sweep, four streams", Gems},
+	}
+}
+
+// ByName finds a kernel.
+func ByName(name string) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("workload: unknown kernel %q", name)
+}
+
+// Register conventions for kernels: r1..r6 stream bases, r10 loop counter,
+// r11..r15 scratch.
+var (
+	wB1  = isa.R(1)
+	wB2  = isa.R(2)
+	wB3  = isa.R(3)
+	wB4  = isa.R(4)
+	wB5  = isa.R(5)
+	wB6  = isa.R(6)
+	wCtr = isa.R(10)
+	wS1  = isa.R(11)
+	wS2  = isa.R(12)
+	wS3  = isa.R(13)
+	wOff = isa.R(14)
+	wS4  = isa.R(15)
+)
+
+func newBuilder() *asm.Builder { return asm.NewBuilder(0x1000, 0x200000) }
+
+// spec describes a synthetic kernel loop.
+type spec struct {
+	iters       int       // loop trips
+	stride      int64     // bytes advanced per stream per trip
+	streams     []isa.Reg // stream base registers (loads; first one also stored)
+	filler      int       // independent work instructions per trip (body size)
+	fpWork      int       // independent FP ops per trip
+	store       bool      // write back to the first stream
+	chase       bool      // first "stream" is a pointer chase (mcf)
+	cluster     int       // chase nodes per cache line (default 4)
+	computeIter int       // trips of a pure-compute epilogue loop (dilution)
+}
+
+// emit builds the kernel loop: per trip, one load per stream, a reduction,
+// the body's filler work, optional store, and the stream advances.
+func emit(s spec) *asm.Program {
+	b := newBuilder()
+	var bases []uint64
+	footprint := uint64(s.iters)*uint64(s.stride) + 256
+	for i := range s.streams {
+		bases = append(bases, b.Alloc(fmt.Sprintf("s%d", i), footprint, 64))
+	}
+	var ringStart uint64
+	if s.chase {
+		cl := s.cluster
+		if cl == 0 {
+			cl = 4
+		}
+		ringStart = buildRing(b, bases[0], s.iters, s.stride, cl)
+	}
+	for i, r := range s.streams {
+		if s.chase && i == 0 {
+			b.MoviAddr(r, ringStart)
+			continue
+		}
+		b.MoviAddr(r, bases[i])
+	}
+	b.Fmovi(isa.F(1), 1.0)
+	b.Fmovi(isa.F(2), 0.5)
+	b.Movi(wCtr, int64(s.iters-1))
+	b.Label("loop")
+	// Stream loads: independent misses runahead can expose.
+	scratch := []isa.Reg{wS1, wS2, wS3, wS4}
+	for i, r := range s.streams {
+		if s.chase && i == 0 {
+			b.Ld(r, r, 0) // the chase: serial and unprefetchable
+			continue
+		}
+		b.Ld(scratch[i%len(scratch)], r, 0)
+	}
+	// A small reduction consumes the loads.
+	b.Add(wS1, wS1, wS2)
+	b.Add(wS3, wS3, wS4)
+	b.Add(wS1, wS1, wS3)
+	if s.store {
+		b.St(s.streams[len(s.streams)-1], 8, wS1)
+	}
+	// Independent FP and integer work (body size: what bounds how many trips
+	// fit in the reorder buffer).  The work is spread across registers so it
+	// neither serialises the baseline nor throttles pseudo-retirement.
+	for i := 0; i < s.fpWork; i++ {
+		f := isa.F(3 + i%4)
+		b.Fadd(f, f, isa.F(2))
+	}
+	for i := 0; i < s.filler; i++ {
+		switch i % 4 {
+		case 0:
+			r := isa.R(20 + i%8)
+			b.Addi(r, r, 1)
+		default:
+			b.Nop()
+		}
+	}
+	for i, r := range s.streams {
+		if s.chase && i == 0 {
+			continue
+		}
+		b.Addi(r, r, s.stride)
+	}
+	b.Addi(wCtr, wCtr, -1)
+	b.Bne(wCtr, isa.R(0), "loop")
+	// Pure-compute epilogue: the non-memory phase every real benchmark has.
+	if s.computeIter > 0 {
+		b.Movi(wCtr, int64(s.computeIter))
+		b.Label("compute")
+		for i := 0; i < 12; i++ {
+			r := isa.R(20 + i%8)
+			b.Addi(r, r, 3)
+		}
+		f := isa.F(3)
+		b.Fadd(f, f, isa.F(2))
+		b.Addi(wCtr, wCtr, -1)
+		b.Bne(wCtr, isa.R(0), "compute")
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildRing lays a pseudo-random cycle of next-pointers over the first
+// stream's footprint and returns the entry node.  Nodes cluster four per
+// cache line (mcf's arcs have spatial locality): three hops stay within the
+// line, the fourth jumps to a random new line, so the chase misses once per
+// four nodes.
+func buildRing(b *asm.Builder, base uint64, nodes int, stride int64, cluster int) uint64 {
+	groups := nodes / cluster
+	if groups == 0 {
+		groups = 1
+	}
+	perm := rand.New(rand.NewSource(7)).Perm(groups)
+	sub8 := 64 / cluster
+	addr := func(g, sub int) uint64 { return base + uint64(g)*uint64(stride) + uint64(sub*sub8) }
+	for i := 0; i < groups; i++ {
+		g := perm[i]
+		for sub := 0; sub < cluster-1; sub++ {
+			b.U64(addr(g, sub), addr(g, sub+1))
+		}
+		b.U64(addr(g, cluster-1), addr(perm[(i+1)%groups], 0))
+	}
+	return addr(perm[0], 0)
+}
+
+// Zeusmp: compute-heavy stencil — two streams, a long body dominated by
+// arithmetic.  Runahead has little memory-level parallelism left to expose.
+func Zeusmp() *asm.Program {
+	return emit(spec{
+		iters:       400,
+		stride:      8,
+		streams:     []isa.Reg{wB1, wB2, wB3},
+		filler:      30,
+		fpWork:      3,
+		store:       true,
+		computeIter: 4500,
+	})
+}
+
+// WRF: two streams with a medium body.
+func WRF() *asm.Program {
+	return emit(spec{
+		iters:       400,
+		stride:      8,
+		streams:     []isa.Reg{wB1, wB2, wB3},
+		filler:      30,
+		fpWork:      3,
+		store:       true,
+		computeIter: 1800,
+	})
+}
+
+// Bwaves: three-stream triad with a large body — classic streaming code
+// where the window covers too few iterations to hide memory.
+func Bwaves() *asm.Program {
+	return emit(spec{
+		iters:   700,
+		stride:  8,
+		streams: []isa.Reg{wB1, wB2, wB3},
+		filler:  30,
+		fpWork:  3,
+		store:   true,
+	})
+}
+
+// LBM: six streams (five read, one written), big body.
+func LBM() *asm.Program {
+	return emit(spec{
+		iters:       500,
+		stride:      16,
+		streams:     []isa.Reg{wB1, wB2, wB3, wB4},
+		filler:      60,
+		fpWork:      2,
+		store:       true,
+		computeIter: 10000,
+	})
+}
+
+// MCF: a pointer chase (which runahead cannot follow — the chased address is
+// INV) plus two independent payload streams (which it can).
+func MCF() *asm.Program {
+	return emit(spec{
+		iters:       600,
+		stride:      32,
+		streams:     []isa.Reg{wB1, wB2, wB3},
+		filler:      30,
+		fpWork:      3,
+		chase:       true,
+		cluster:     16,
+		computeIter: 9000,
+	})
+}
+
+// Gems: four large-stride streams, minimal compute — the most memory-bound
+// kernel and the largest runahead win.
+func Gems() *asm.Program {
+	return emit(spec{
+		iters:   600,
+		stride:  24,
+		streams: []isa.Reg{wB1, wB2, wB3, wB4},
+		filler:  100,
+		fpWork:  2,
+		store:   true,
+	})
+}

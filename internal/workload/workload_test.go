@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"specrun/internal/cpu"
+	"specrun/internal/iss"
+	"specrun/internal/runahead"
+)
+
+func TestKernelsBuild(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 6 {
+		t.Fatalf("want the paper's 6 benchmarks, got %d", len(ks))
+	}
+	names := map[string]bool{}
+	for _, k := range ks {
+		p := k.Build()
+		if len(p.Insts) == 0 {
+			t.Errorf("%s: empty program", k.Name)
+		}
+		if names[k.Name] {
+			t.Errorf("duplicate kernel name %q", k.Name)
+		}
+		names[k.Name] = true
+	}
+	for _, want := range []string{"zeusm", "wrf", "bwave", "lbm", "mcf", "Gems"} {
+		if !names[want] {
+			t.Errorf("missing Fig. 7 benchmark %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown kernel must fail")
+	}
+}
+
+// Every kernel must terminate on the reference interpreter (a generator bug
+// producing an endless loop would silently ruin the IPC experiment).
+func TestKernelsTerminateOnISS(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			it := iss.New(k.Build())
+			if err := it.Run(5_000_000); err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+		})
+	}
+}
+
+// The kernels must be deterministic: two builds produce identical programs.
+func TestKernelsDeterministic(t *testing.T) {
+	for _, k := range Kernels() {
+		a, b := k.Build(), k.Build()
+		if len(a.Insts) != len(b.Insts) {
+			t.Fatalf("%s: nondeterministic size", k.Name)
+		}
+		for i := range a.Insts {
+			if a.Insts[i] != b.Insts[i] {
+				t.Fatalf("%s: nondeterministic instruction %d", k.Name, i)
+			}
+		}
+	}
+}
+
+// The headline Fig. 7 property: every kernel runs at least as fast with
+// runahead as without, and the chase-free streaming kernels gain clearly.
+func TestRunaheadNeverLoses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 7 sweep is slow")
+	}
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			var cycles [2]uint64
+			for i, kind := range []runahead.Kind{runahead.KindNone, runahead.KindOriginal} {
+				cfg := cpu.DefaultConfig()
+				cfg.Runahead.Kind = kind
+				c := cpu.New(cfg, k.Build())
+				if err := c.Run(50_000_000); err != nil {
+					t.Fatal(err)
+				}
+				cycles[i] = c.Stats().Cycles
+			}
+			ratio := float64(cycles[0]) / float64(cycles[1])
+			t.Logf("%s: base=%d runahead=%d ratio=%.3f", k.Name, cycles[0], cycles[1], ratio)
+			if ratio < 1.0 {
+				t.Errorf("%s: runahead slower than baseline (%.3f)", k.Name, ratio)
+			}
+		})
+	}
+}

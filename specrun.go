@@ -1,0 +1,82 @@
+// Package specrun is the public facade of the SPECRUN reproduction: a
+// cycle-level out-of-order processor simulator with runahead execution, the
+// SPECRUN transient-execution attack (DAC 2024), and the paper's secure
+// runahead defense.
+//
+// Quick start:
+//
+//	cfg := specrun.DefaultConfig()          // Table 1 machine with runahead
+//	res, err := specrun.RunFig9(cfg)        // the Fig. 9 PoC
+//	if b, ok := res.LeakedByte(); ok { ... }
+//
+// The heavy lifting lives in the internal packages; this package re-exports
+// the experiment-level API used by the command-line tools, the examples and
+// the benchmark harness.
+package specrun
+
+import (
+	"specrun/internal/attack"
+	"specrun/internal/core"
+	"specrun/internal/runahead"
+)
+
+// Config is the machine configuration (Table 1 defaults).
+type Config = core.Config
+
+// Machine is one simulated processor executing one program.
+type Machine = core.Machine
+
+// AttackResult is the outcome of one PoC run.
+type AttackResult = core.AttackResult
+
+// AttackParams configures a PoC build.
+type AttackParams = attack.Params
+
+// IPCRow is one bar pair of Fig. 7.
+type IPCRow = core.IPCRow
+
+// RunaheadKind selects the runahead variant.
+type RunaheadKind = runahead.Kind
+
+// Runahead variants.
+const (
+	RunaheadNone     = runahead.KindNone
+	RunaheadOriginal = runahead.KindOriginal
+	RunaheadPrecise  = runahead.KindPrecise
+	RunaheadVector   = runahead.KindVector
+)
+
+// Configuration constructors.
+var (
+	DefaultConfig  = core.DefaultConfig
+	BaselineConfig = core.BaselineConfig
+	SecureConfig   = core.SecureConfig
+	VariantConfig  = core.VariantConfig
+)
+
+// Experiment drivers (one per table/figure of the paper).
+var (
+	RunFig9          = core.RunFig9
+	RunFig10         = core.RunFig10
+	RunFig11         = core.RunFig11
+	RunIPCComparison = core.RunIPCComparison
+	RunDefense       = core.RunDefense
+	RunVariantMatrix = core.RunVariantMatrix
+	RunAttack        = core.RunAttack
+	NewMachine       = core.NewMachine
+	RunProgram       = core.RunProgram
+)
+
+// Report formatters.
+var (
+	Table1         = core.Table1
+	FormatIPC      = core.FormatIPC
+	FormatProbe    = core.FormatProbe
+	FormatWindows  = core.FormatWindows
+	FormatDefense  = core.FormatDefense
+	FormatVariants = core.FormatVariants
+	MeanSpeedup    = core.MeanSpeedup
+)
+
+// DefaultAttackParams returns the Fig. 8/9 attack parameters.
+func DefaultAttackParams() AttackParams { return attack.DefaultParams() }
