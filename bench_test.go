@@ -15,6 +15,8 @@
 package specrun
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"specrun/internal/attack"
@@ -82,6 +84,40 @@ func BenchmarkFig7_MeanSpeedup(b *testing.B) {
 		mean = core.MeanSpeedup(rows)
 	}
 	b.ReportMetric((mean-1)*100, "speedup_%")
+}
+
+// ---- Sweep engine: Fig. 7 sharded across the worker pool ----
+
+// benchIPCSweep runs the full 12-simulation Fig. 7 grid at a fixed worker
+// count; comparing Workers1 with WorkersMax shows the wall-clock win of the
+// parallel sweep engine on multi-core hosts (results are byte-identical).
+func benchIPCSweep(b *testing.B, workers int) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunIPCComparisonCtx(context.Background(), core.DefaultConfig(), workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = core.MeanSpeedup(rows)
+	}
+	b.ReportMetric((mean-1)*100, "speedup_%")
+}
+
+func BenchmarkSweep_IPC_Workers1(b *testing.B)   { benchIPCSweep(b, 1) }
+func BenchmarkSweep_IPC_WorkersMax(b *testing.B) { benchIPCSweep(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSweep_VariantMatrix_WorkersMax shards the six §4.3/§4.4 PoC
+// runs (four Spectre variants, two runahead variants).
+func BenchmarkSweep_VariantMatrix_WorkersMax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunVariantMatrixCtx(context.Background(), core.DefaultConfig(), runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("want 6 rows, got %d", len(rows))
+		}
+	}
 }
 
 // ---- Fig. 9: the SPECRUN PoC ----

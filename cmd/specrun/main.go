@@ -12,6 +12,8 @@
 //	specrun variants           §4.3/4.4 applicability matrix
 //	specrun attack [flags]     one PoC run (see flags below)
 //	specrun leak [flags]       extract a multi-byte secret
+//	specrun sweep [flags]      user-defined parameter grid on the parallel
+//	                           sweep engine (JSON/CSV output)
 //	specrun all                everything above, in paper order
 package main
 
@@ -23,7 +25,6 @@ import (
 	"specrun/internal/attack"
 	"specrun/internal/core"
 	"specrun/internal/cpu"
-	"specrun/internal/runahead"
 	"specrun/internal/workload"
 )
 
@@ -53,6 +54,8 @@ func main() {
 		err = runAttack(args)
 	case "leak":
 		err = runLeak(args)
+	case "sweep":
+		err = runSweep(args)
 	case "trace":
 		err = runTrace(args)
 	case "all":
@@ -75,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: specrun <config|ipc|fig9|window|fig11|defense|variants|attack|leak|trace|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: specrun <config|ipc|fig9|window|fig11|defense|variants|attack|leak|sweep|trace|all> [flags]`)
 }
 
 // runTrace simulates one Fig. 7 kernel with the pipeline tracer attached and
@@ -190,29 +193,13 @@ func attackFlags(args []string) (attack.Params, core.Config, error) {
 	p := attack.DefaultParams()
 	p.Secret = []byte{byte(*secret)}
 	p.NopPad = *pad
-	switch *variant {
-	case "pht":
-		p.Variant = attack.VariantPHT
-	case "btb":
-		p.Variant = attack.VariantBTB
-	case "rsb-overwrite":
-		p.Variant = attack.VariantRSBOverwrite
-	case "rsb-flush":
-		p.Variant = attack.VariantRSBFlush
-	default:
-		return p, core.Config{}, fmt.Errorf("unknown variant %q", *variant)
+	var err2 error
+	if p.Variant, err2 = parseVariant(*variant); err2 != nil {
+		return p, core.Config{}, err2
 	}
 	cfg := core.DefaultConfig()
-	switch *mode {
-	case "none":
-		cfg.Runahead.Kind = runahead.KindNone
-	case "original":
-	case "precise":
-		cfg.Runahead.Kind = runahead.KindPrecise
-	case "vector":
-		cfg.Runahead.Kind = runahead.KindVector
-	default:
-		return p, cfg, fmt.Errorf("unknown runahead mode %q", *mode)
+	if cfg.Runahead.Kind, err2 = parseRunaheadKind(*mode); err2 != nil {
+		return p, cfg, err2
 	}
 	cfg.Secure.Enabled = *secure
 	cfg.Runahead.SkipINVBranch = *skipINV

@@ -1,0 +1,3 @@
+module specrun
+
+go 1.24

@@ -1,10 +1,12 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"specrun/internal/cpu"
+	"specrun/internal/sweep"
 )
 
 // Analysis interprets one probe sweep (the data behind Fig. 9 / Fig. 11).
@@ -78,16 +80,27 @@ func Run(cfg cpu.Config, p Params) (Result, error) {
 // advancing target address, as the paper's attacker would.  It returns the
 // recovered bytes (0 where the channel failed) and the per-byte results.
 func LeakSecret(cfg cpu.Config, p Params) ([]byte, []Result, error) {
-	out := make([]byte, len(p.Secret))
-	results := make([]Result, len(p.Secret))
-	for i := range p.Secret {
+	return LeakSecretCtx(context.Background(), cfg, p, 0)
+}
+
+// LeakSecretCtx is LeakSecret with cancellation and an explicit worker
+// count (0 = GOMAXPROCS).  Each byte extraction is an independent PoC run
+// on a fresh machine, so they shard across the sweep engine.
+func LeakSecretCtx(ctx context.Context, cfg cpu.Config, p Params, workers int) ([]byte, []Result, error) {
+	idx := make([]int, len(p.Secret))
+	for i := range idx {
+		idx[i] = i
+	}
+	results, err := sweep.First(ctx, idx, func(_ context.Context, i int) (Result, error) {
 		q := p
 		q.SecretIdx = i
-		r, err := Run(cfg, q)
-		if err != nil {
-			return nil, nil, err
-		}
-		results[i] = r
+		return Run(cfg, q)
+	}, sweep.Options{Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]byte, len(p.Secret))
+	for i, r := range results {
 		if v, ok := r.LeakedByte(); ok {
 			out[i] = v
 		}

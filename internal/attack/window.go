@@ -1,12 +1,14 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 
 	"specrun/internal/asm"
 	"specrun/internal/cpu"
 	"specrun/internal/isa"
 	"specrun/internal/runahead"
+	"specrun/internal/sweep"
 )
 
 // WindowScenario selects one of the three Fig. 10 measurements of the
@@ -143,12 +145,19 @@ func MeasureWindow(base cpu.Config, s WindowScenario) (WindowResult, error) {
 
 // MeasureAllWindows reproduces the full Fig. 10 triple (N1, N2, N3).
 func MeasureAllWindows(base cpu.Config) (n1, n2, n3 WindowResult, err error) {
-	if n1, err = MeasureWindow(base, Window1NormalFlushOnce); err != nil {
+	return MeasureAllWindowsCtx(context.Background(), base, 0)
+}
+
+// MeasureAllWindowsCtx is MeasureAllWindows with cancellation and an
+// explicit worker count (0 = GOMAXPROCS); the three scenarios simulate
+// concurrently on the sweep engine.
+func MeasureAllWindowsCtx(ctx context.Context, base cpu.Config, workers int) (n1, n2, n3 WindowResult, err error) {
+	scenarios := []WindowScenario{Window1NormalFlushOnce, Window2RunaheadFlushOnce, Window3RunaheadFlushRepeat}
+	results, err := sweep.First(ctx, scenarios, func(_ context.Context, s WindowScenario) (WindowResult, error) {
+		return MeasureWindow(base, s)
+	}, sweep.Options{Workers: workers})
+	if err != nil {
 		return
 	}
-	if n2, err = MeasureWindow(base, Window2RunaheadFlushOnce); err != nil {
-		return
-	}
-	n3, err = MeasureWindow(base, Window3RunaheadFlushRepeat)
-	return
+	return results[0], results[1], results[2], nil
 }

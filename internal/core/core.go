@@ -4,15 +4,25 @@
 // (Fig. 7, Fig. 9, Fig. 10, Fig. 11, the §4.3/§4.4 variants and the §6
 // defense).  Command-line tools, examples and benchmarks all go through
 // this package.
+//
+// Every multi-run driver shards its independent simulations across a
+// worker pool via specrun/internal/sweep.  Each Run* function has a
+// Run*Ctx sibling taking a context (cancellation) and a worker count
+// (0 = GOMAXPROCS); the plain form runs with background context and the
+// default pool.  Results are byte-identical at any worker count because
+// every job simulates a fresh machine.
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"specrun/internal/asm"
 	"specrun/internal/attack"
 	"specrun/internal/cpu"
 	"specrun/internal/runahead"
+	"specrun/internal/sweep"
 	"specrun/internal/workload"
 )
 
@@ -77,9 +87,23 @@ type IPCRow struct {
 	Description string
 }
 
+// ipcJob is one simulation of the Fig. 7 grid: kernel × {baseline, runahead}.
+type ipcJob struct {
+	kernel workload.Kernel
+	cfg    Config
+	ra     bool // second column (runahead machine)
+}
+
 // RunIPCComparison reproduces Fig. 7: every workload kernel on the baseline
 // and the runahead machine, reporting normalized IPC.
 func RunIPCComparison(base Config) ([]IPCRow, error) {
+	return RunIPCComparisonCtx(context.Background(), base, 0)
+}
+
+// RunIPCComparisonCtx is RunIPCComparison with cancellation and an explicit
+// worker count (0 = GOMAXPROCS).  The 2×len(kernels) simulations are
+// independent and run in parallel; row order follows workload.Kernels().
+func RunIPCComparisonCtx(ctx context.Context, base Config, workers int) ([]IPCRow, error) {
 	raCfg := base
 	if raCfg.Runahead.Kind == runahead.KindNone {
 		raCfg.Runahead.Kind = runahead.KindOriginal
@@ -87,19 +111,30 @@ func RunIPCComparison(base Config) ([]IPCRow, error) {
 	noCfg := base
 	noCfg.Runahead.Kind = runahead.KindNone
 
-	var rows []IPCRow
-	for _, k := range workload.Kernels() {
+	kernels := workload.Kernels()
+	jobs := make([]ipcJob, 0, 2*len(kernels))
+	for _, k := range kernels {
+		jobs = append(jobs, ipcJob{kernel: k, cfg: noCfg}, ipcJob{kernel: k, cfg: raCfg, ra: true})
+	}
+	stats, err := sweep.First(ctx, jobs, func(_ context.Context, j ipcJob) (*cpu.Stats, error) {
+		m, err := RunProgram(j.cfg, j.kernel.Build())
+		if err != nil {
+			return nil, fmt.Errorf("core: %s (ra=%v): %w", j.kernel.Name, j.ra, err)
+		}
+		return m.Stats(), nil
+	}, sweep.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]IPCRow, 0, len(kernels))
+	for i, k := range kernels {
 		row := IPCRow{Name: k.Name, Description: k.Descr}
-		for i, cfg := range []Config{noCfg, raCfg} {
-			m, err := RunProgram(cfg, k.Build())
-			if err != nil {
-				return nil, fmt.Errorf("core: %s (%d): %w", k.Name, i, err)
-			}
-			st := m.Stats()
-			row.Cycles[i] = st.Cycles
+		for col, st := range stats[2*i : 2*i+2] {
+			row.Cycles[col] = st.Cycles
 			row.Insts = st.Committed
-			row.IPC[i] = st.IPC()
-			if i == 1 {
+			row.IPC[col] = st.IPC()
+			if col == 1 {
 				row.Episodes = st.RunaheadEpisodes
 			}
 		}
@@ -118,12 +153,7 @@ func MeanSpeedup(rows []IPCRow) float64 {
 	for _, r := range rows {
 		prod *= r.Speedup
 	}
-	return pow(prod, 1.0/float64(len(rows)))
-}
-
-func pow(x, y float64) float64 {
-	// Tiny wrapper to keep math import localised.
-	return mathPow(x, y)
+	return math.Pow(prod, 1.0/float64(len(rows)))
 }
 
 // AttackResult re-exports the attack outcome type.
@@ -132,6 +162,20 @@ type AttackResult = attack.Result
 // RunAttack executes one PoC variant on the given machine configuration.
 func RunAttack(cfg Config, p attack.Params) (AttackResult, error) {
 	return attack.Run(attack.ConfigFor(p.Variant, cfg), p)
+}
+
+// attackJob pairs a machine configuration with PoC parameters; it is the
+// unit every attack-style sweep below shards on.
+type attackJob struct {
+	cfg Config
+	p   attack.Params
+}
+
+// runAttackJobs executes a batch of attack runs on the sweep engine.
+func runAttackJobs(ctx context.Context, jobs []attackJob, workers int) ([]AttackResult, error) {
+	return sweep.First(ctx, jobs, func(_ context.Context, j attackJob) (AttackResult, error) {
+		return RunAttack(j.cfg, j.p)
+	}, sweep.Options{Workers: workers})
 }
 
 // RunFig9 reproduces Fig. 9: the PHT PoC on the runahead machine with
@@ -149,26 +193,34 @@ type Fig11Result struct {
 // RunFig11 reproduces Fig. 11: the nop-padded gadget (secret access beyond
 // the ROB, secret byte 127) on a no-runahead and a runahead machine.
 func RunFig11(cfg Config) (Fig11Result, error) {
+	return RunFig11Ctx(context.Background(), cfg, 0)
+}
+
+// RunFig11Ctx is RunFig11 with cancellation and an explicit worker count;
+// the two machines simulate concurrently.
+func RunFig11Ctx(ctx context.Context, cfg Config, workers int) (Fig11Result, error) {
 	p := attack.DefaultParams()
 	p.Secret = []byte{127}
 	p.NopPad = 300
 
-	ra, err := RunAttack(cfg, p)
-	if err != nil {
-		return Fig11Result{}, err
-	}
 	no := cfg
 	no.Runahead.Kind = runahead.KindNone
-	noR, err := RunAttack(no, p)
+	results, err := runAttackJobs(ctx, []attackJob{{cfg, p}, {no, p}}, workers)
 	if err != nil {
 		return Fig11Result{}, err
 	}
-	return Fig11Result{Runahead: ra, NoRunahead: noR}, nil
+	return Fig11Result{Runahead: results[0], NoRunahead: results[1]}, nil
 }
 
 // RunFig10 reproduces the N1/N2/N3 window measurements.
 func RunFig10(cfg Config) (n1, n2, n3 attack.WindowResult, err error) {
 	return attack.MeasureAllWindows(cfg)
+}
+
+// RunFig10Ctx is RunFig10 with cancellation and an explicit worker count;
+// the three scenarios simulate concurrently.
+func RunFig10Ctx(ctx context.Context, cfg Config, workers int) (n1, n2, n3 attack.WindowResult, err error) {
+	return attack.MeasureAllWindowsCtx(ctx, cfg, workers)
 }
 
 // DefenseResult compares the attack under the vulnerable and secure machines.
@@ -182,24 +234,25 @@ type DefenseResult struct {
 // vulnerable runahead machine, the SL-cache machine and the skip-INV-branch
 // restriction.
 func RunDefense(cfg Config) (DefenseResult, error) {
+	return RunDefenseCtx(context.Background(), cfg, 0)
+}
+
+// RunDefenseCtx is RunDefense with cancellation and an explicit worker
+// count; the three machines simulate concurrently.
+func RunDefenseCtx(ctx context.Context, cfg Config, workers int) (DefenseResult, error) {
 	p := attack.DefaultParams()
 	p.Secret = []byte{127}
 	p.NopPad = 300
 
-	var out DefenseResult
-	var err error
-	if out.Vulnerable, err = RunAttack(cfg, p); err != nil {
-		return out, err
-	}
 	sec := cfg
 	sec.Secure.Enabled = true
-	if out.Secure, err = RunAttack(sec, p); err != nil {
-		return out, err
-	}
 	skip := cfg
 	skip.Runahead.SkipINVBranch = true
-	out.SkipINV, err = RunAttack(skip, p)
-	return out, err
+	results, err := runAttackJobs(ctx, []attackJob{{cfg, p}, {sec, p}, {skip, p}}, workers)
+	if err != nil {
+		return DefenseResult{}, err
+	}
+	return DefenseResult{Vulnerable: results[0], Secure: results[1], SkipINV: results[2]}, nil
 }
 
 // VariantOutcome is one row of the §4.3/§4.4 applicability matrix.
@@ -211,7 +264,16 @@ type VariantOutcome struct {
 // RunVariantMatrix runs the PoC across Spectre variants (§4.4) and runahead
 // variants (§4.3).
 func RunVariantMatrix(cfg Config) ([]VariantOutcome, error) {
-	var out []VariantOutcome
+	return RunVariantMatrixCtx(context.Background(), cfg, 0)
+}
+
+// RunVariantMatrixCtx is RunVariantMatrix with cancellation and an explicit
+// worker count; the six PoC runs simulate concurrently.  Row order is
+// fixed: the four Spectre variants on original runahead, then the two
+// runahead variants under the PHT attack.
+func RunVariantMatrixCtx(ctx context.Context, cfg Config, workers int) ([]VariantOutcome, error) {
+	var jobs []attackJob
+	var labels []string
 	// Spectre variants on original runahead.
 	for _, v := range []attack.Variant{attack.VariantPHT, attack.VariantBTB, attack.VariantRSBOverwrite, attack.VariantRSBFlush} {
 		p := attack.DefaultParams()
@@ -219,11 +281,8 @@ func RunVariantMatrix(cfg Config) ([]VariantOutcome, error) {
 		if v == attack.VariantPHT || v == attack.VariantBTB {
 			p.NopPad = 300
 		}
-		r, err := RunAttack(cfg, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, VariantOutcome{Label: "spectre-" + v.String(), Result: r})
+		jobs = append(jobs, attackJob{cfg, p})
+		labels = append(labels, "spectre-"+v.String())
 	}
 	// Runahead variants with the PHT attack.
 	for _, k := range []runahead.Kind{runahead.KindPrecise, runahead.KindVector} {
@@ -231,11 +290,16 @@ func RunVariantMatrix(cfg Config) ([]VariantOutcome, error) {
 		p.NopPad = 300
 		c := cfg
 		c.Runahead.Kind = k
-		r, err := RunAttack(c, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, VariantOutcome{Label: "runahead-" + k.String(), Result: r})
+		jobs = append(jobs, attackJob{c, p})
+		labels = append(labels, "runahead-"+k.String())
+	}
+	results, err := runAttackJobs(ctx, jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VariantOutcome, len(jobs))
+	for i := range jobs {
+		out[i] = VariantOutcome{Label: labels[i], Result: results[i]}
 	}
 	return out, nil
 }

@@ -2,13 +2,10 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"specrun/internal/attack"
 )
-
-func mathPow(x, y float64) float64 { return math.Pow(x, y) }
 
 // Table1 renders the simulated processor configuration in the shape of the
 // paper's Table 1.

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis is one named parameter dimension of a grid.
+type Axis struct {
+	Name   string
+	Values []string
+}
+
+// ParseAxis builds an axis from a comma-separated flag value, e.g.
+// "rob=64,128,256" split by the caller into name and "64,128,256".
+func ParseAxis(name, csv string) (Axis, error) {
+	a := Axis{Name: name}
+	for _, v := range strings.Split(csv, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		a.Values = append(a.Values, v)
+	}
+	if len(a.Values) == 0 {
+		return a, fmt.Errorf("sweep: axis %q has no values", name)
+	}
+	return a, nil
+}
+
+// Point is one cell of an expanded grid: an axis-name → value assignment.
+type Point map[string]string
+
+// FormatPoint renders a point following the axis order of the grid that
+// produced it (labels, logs, failure reports).
+func FormatPoint(axes []Axis, p Point) string {
+	parts := make([]string, 0, len(axes))
+	for _, a := range axes {
+		parts = append(parts, a.Name+"="+p[a.Name])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Expand enumerates the full cross product of the axes in row-major order
+// (the last axis varies fastest), matching nested for-loops over the axes
+// in declaration order.  An empty axis list yields a single empty point;
+// an axis with no values yields no points.
+func Expand(axes []Axis) []Point {
+	points := []Point{{}}
+	for _, a := range axes {
+		next := make([]Point, 0, len(points)*len(a.Values))
+		for _, p := range points {
+			for _, v := range a.Values {
+				q := make(Point, len(p)+1)
+				for k, pv := range p {
+					q[k] = pv
+				}
+				q[a.Name] = v
+				next = append(next, q)
+			}
+		}
+		points = next
+	}
+	return points
+}
