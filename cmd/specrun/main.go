@@ -14,10 +14,17 @@
 //	specrun leak [flags]       extract a multi-byte secret
 //	specrun sweep [flags]      user-defined parameter grid on the parallel
 //	                           sweep engine (JSON/CSV output)
+//	specrun serve [flags]      simulation-as-a-service HTTP API with a
+//	                           content-addressed result cache
+//	specrun version            module version / VCS revision
 //	specrun all                everything above, in paper order
+//
+// The figure subcommands take --format json to emit the same canonical
+// JSON document as the corresponding `specrun serve` endpoint.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +32,7 @@ import (
 	"specrun/internal/attack"
 	"specrun/internal/core"
 	"specrun/internal/cpu"
+	"specrun/internal/server"
 	"specrun/internal/workload"
 )
 
@@ -39,30 +47,34 @@ func main() {
 	case "config":
 		fmt.Print(core.Table1(core.DefaultConfig()))
 	case "ipc":
-		err = runIPC()
+		err = runIPC(args)
 	case "fig9":
-		err = runFig9()
+		err = runFig9(args)
 	case "window":
-		err = runWindow()
+		err = runWindow(args)
 	case "fig11":
-		err = runFig11()
+		err = runFig11(args)
 	case "defense":
-		err = runDefense()
+		err = runDefense(args)
 	case "variants":
-		err = runVariants()
+		err = runVariants(args)
 	case "attack":
 		err = runAttack(args)
 	case "leak":
 		err = runLeak(args)
 	case "sweep":
 		err = runSweep(args)
+	case "serve":
+		err = runServe(args)
+	case "version":
+		fmt.Println("specrun", server.Version())
 	case "trace":
 		err = runTrace(args)
 	case "all":
 		fmt.Print(core.Table1(core.DefaultConfig()))
 		fmt.Println()
-		for _, f := range []func() error{runIPC, runFig9, runWindow, runFig11, runDefense, runVariants} {
-			if err = f(); err != nil {
+		for _, f := range []func([]string) error{runIPC, runFig9, runWindow, runFig11, runDefense, runVariants} {
+			if err = f(nil); err != nil {
 				break
 			}
 			fmt.Println()
@@ -78,7 +90,37 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: specrun <config|ipc|fig9|window|fig11|defense|variants|attack|leak|sweep|trace|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: specrun <config|ipc|fig9|window|fig11|defense|variants|attack|leak|sweep|serve|version|trace|all> [flags]`)
+}
+
+// figureFormat parses the --format flag shared by the figure subcommands.
+func figureFormat(name string, args []string) (string, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	format := fs.String("format", "table", "table | json (json matches the HTTP API response body)")
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	switch *format {
+	case "table", "json":
+		return *format, nil
+	}
+	return "", fmt.Errorf("%s: unknown format %q", name, *format)
+}
+
+// printDriverJSON runs a server driver on the default configuration and
+// writes its canonical encoding — byte-identical to the HTTP response body
+// of POST /v1/run/{driver} with an empty request.
+func printDriverJSON(driver string) error {
+	res, err := server.Run(context.Background(), driver, core.DefaultConfig(), attack.DefaultParams(), 0)
+	if err != nil {
+		return err
+	}
+	b, err := server.Encode(res)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
+	return err
 }
 
 // runTrace simulates one Fig. 7 kernel with the pipeline tracer attached and
@@ -120,7 +162,14 @@ func runTrace(args []string) error {
 	return nil
 }
 
-func runIPC() error {
+func runIPC(args []string) error {
+	format, err := figureFormat("ipc", args)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return printDriverJSON("ipc")
+	}
 	rows, err := core.RunIPCComparison(core.DefaultConfig())
 	if err != nil {
 		return err
@@ -129,7 +178,14 @@ func runIPC() error {
 	return nil
 }
 
-func runFig9() error {
+func runFig9(args []string) error {
+	format, err := figureFormat("fig9", args)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return printDriverJSON("fig9")
+	}
 	r, err := core.RunFig9(core.DefaultConfig())
 	if err != nil {
 		return err
@@ -139,7 +195,14 @@ func runFig9() error {
 	return nil
 }
 
-func runWindow() error {
+func runWindow(args []string) error {
+	format, err := figureFormat("window", args)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return printDriverJSON("fig10")
+	}
 	n1, n2, n3, err := core.RunFig10(core.DefaultConfig())
 	if err != nil {
 		return err
@@ -148,7 +211,14 @@ func runWindow() error {
 	return nil
 }
 
-func runFig11() error {
+func runFig11(args []string) error {
+	format, err := figureFormat("fig11", args)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return printDriverJSON("fig11")
+	}
 	r, err := core.RunFig11(core.DefaultConfig())
 	if err != nil {
 		return err
@@ -161,7 +231,14 @@ func runFig11() error {
 	return nil
 }
 
-func runDefense() error {
+func runDefense(args []string) error {
+	format, err := figureFormat("defense", args)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return printDriverJSON("defense")
+	}
 	d, err := core.RunDefense(core.DefaultConfig())
 	if err != nil {
 		return err
@@ -170,7 +247,14 @@ func runDefense() error {
 	return nil
 }
 
-func runVariants() error {
+func runVariants(args []string) error {
+	format, err := figureFormat("variants", args)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return printDriverJSON("variants")
+	}
 	rows, err := core.RunVariantMatrix(core.DefaultConfig())
 	if err != nil {
 		return err
@@ -193,13 +277,12 @@ func attackFlags(args []string) (attack.Params, core.Config, error) {
 	p := attack.DefaultParams()
 	p.Secret = []byte{byte(*secret)}
 	p.NopPad = *pad
-	var err2 error
-	if p.Variant, err2 = parseVariant(*variant); err2 != nil {
-		return p, core.Config{}, err2
+	if err := p.Variant.UnmarshalText([]byte(*variant)); err != nil {
+		return p, core.Config{}, err
 	}
 	cfg := core.DefaultConfig()
-	if cfg.Runahead.Kind, err2 = parseRunaheadKind(*mode); err2 != nil {
-		return p, cfg, err2
+	if err := cfg.Runahead.Kind.UnmarshalText([]byte(*mode)); err != nil {
+		return p, cfg, err
 	}
 	cfg.Secure.Enabled = *secure
 	cfg.Runahead.SkipINVBranch = *skipINV

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specrun/internal/server"
+)
+
+// runServe implements `specrun serve`: the simulation-as-a-service HTTP
+// API.  Every paper driver is a POST /v1/run/{driver} endpoint, sweeps run
+// synchronously at POST /v1/sweep or asynchronously via /v1/jobs, and
+// deterministic results are memoized in a content-addressed cache.
+//
+//	specrun serve --addr :8080 --workers 8 --cache-entries 1024
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "server-wide simulation budget (0 = GOMAXPROCS)")
+	cacheEntries := fs.Int("cache-entries", 512, "result-cache capacity in entries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Options{Workers: *workers, CacheEntries: *cacheEntries})
+	defer srv.Close()
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGINT/SIGTERM drain in-flight requests, then cancel jobs via Close.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "specrun serve: %s listening on %s\n", server.Version(), *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "specrun serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -13,17 +13,16 @@ import (
 	"strconv"
 	"strings"
 
-	"specrun/internal/attack"
-	"specrun/internal/core"
-	"specrun/internal/runahead"
+	"specrun/internal/server"
 	"specrun/internal/sweep"
-	"specrun/internal/workload"
 )
 
 // runSweep implements `specrun sweep`: a user-defined parameter grid
 // (ROB size × runahead kind × workload kernel, or × Spectre variant ×
 // secret byte in attack mode) expanded into independent jobs and sharded
 // across the sweep engine, with JSON/CSV output for downstream plotting.
+// The grid logic lives in internal/server (SweepSpec), which also backs
+// POST /v1/sweep — the CLI and the HTTP API run identical grids.
 //
 //	specrun sweep --rob 64,128,256 --runahead none,original,precise,vector --workloads all
 //	specrun sweep --mode attack --runahead original,precise --variants pht,btb --secrets 86,127 --pad 300 --format csv
@@ -50,13 +49,21 @@ func runSweep(args []string) error {
 	default:
 		return fmt.Errorf("sweep: unknown format %q", *format)
 	}
-	axes, err := sweepAxes(*mode, *robs, *kinds, *workloads, *variants, *secrets)
-	if err != nil {
+	spec := server.SweepSpec{
+		Mode:      *mode,
+		Runahead:  splitCSV(*kinds),
+		Workloads: splitCSV(*workloads),
+		Variants:  splitCSV(*variants),
+		Pad:       *pad,
+		Secure:    *secure,
+		Workers:   *workers,
+	}
+	var err error
+	if spec.ROB, err = parseIntCSV("ROB size", *robs); err != nil {
 		return err
 	}
-	points := sweep.Expand(axes)
-	if len(points) == 0 {
-		return fmt.Errorf("sweep: empty grid")
+	if spec.Secrets, err = parseIntCSV("secret byte", *secrets); err != nil {
+		return err
 	}
 
 	// Ctrl-C cancels the sweep: running jobs finish, queued jobs never start.
@@ -70,235 +77,63 @@ func runSweep(args []string) error {
 		}
 	}
 
-	var cols []string
-	var rows []map[string]any
-	switch *mode {
-	case "ipc":
-		cols, rows, err = sweepIPC(ctx, points, *secure, opt)
-	case "attack":
-		cols, rows, err = sweepAttack(ctx, points, *pad, *secure, opt)
-	default:
-		return fmt.Errorf("sweep: unknown mode %q", *mode)
-	}
+	res, axes, err := server.RunSweep(ctx, spec, opt)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr) // terminate the \r progress line
 	}
+	if res.Rows == nil {
+		return err // the grid never ran: validation failure
+	}
 	// Name each failing grid point on stderr; the error column carries the
 	// same text for machine consumers.
-	for _, e := range flattenErrs(err) {
-		if je, ok := e.(*sweep.JobError); ok {
-			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", sweep.FormatPoint(axes, points[je.Index]), je.Err)
+	points := sweep.Expand(axes)
+	for _, je := range sweep.Errors(err) {
+		fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", sweep.FormatPoint(axes, points[je.Index]), je.Err)
+	}
+	w := io.Writer(os.Stdout)
+	var f *os.File
+	if *out != "" {
+		var ferr error
+		if f, ferr = os.Create(*out); ferr != nil {
+			return ferr
+		}
+		w = f
+	}
+	werr := writeSweep(w, *format, res.Cols, res.Rows)
+	if f != nil {
+		// A failed close loses buffered rows; it must not report success.
+		if cerr := f.Close(); cerr != nil {
+			werr = errors.Join(werr, cerr)
 		}
 	}
-	if rows != nil {
-		w := io.Writer(os.Stdout)
-		var f *os.File
-		if *out != "" {
-			var ferr error
-			if f, ferr = os.Create(*out); ferr != nil {
-				return ferr
-			}
-			w = f
-		}
-		werr := writeSweep(w, *format, cols, rows)
-		if f != nil {
-			// A failed close loses buffered rows; it must not report success.
-			if cerr := f.Close(); cerr != nil {
-				werr = errors.Join(werr, cerr)
-			}
-		}
-		if werr != nil {
-			return werr
-		}
+	if werr != nil {
+		return werr
 	}
 	return err
 }
 
-// flattenErrs unwraps a joined error into its parts (nil → none).
-func flattenErrs(err error) []error {
-	if err == nil {
-		return nil
+// splitCSV splits a comma-separated flag value, dropping empty items.
+func splitCSV(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
 	}
-	if m, ok := err.(interface{ Unwrap() []error }); ok {
-		return m.Unwrap()
-	}
-	return []error{err}
+	return out
 }
 
-// sweepAxes assembles the grid for a mode, validating every axis value up
-// front so a typo fails before any simulation starts.
-func sweepAxes(mode, robs, kinds, workloadsCSV, variantsCSV, secretsCSV string) ([]sweep.Axis, error) {
-	robAxis, err := sweep.ParseAxis("rob", robs)
-	if err != nil {
-		return nil, err
+// parseIntCSV parses a comma-separated integer list.
+func parseIntCSV(what, s string) ([]int, error) {
+	var out []int
+	for _, v := range splitCSV(s) {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad %s %q", what, v)
+		}
+		out = append(out, n)
 	}
-	for _, v := range robAxis.Values {
-		if n, err := strconv.Atoi(v); err != nil || n <= 0 {
-			return nil, fmt.Errorf("sweep: bad ROB size %q", v)
-		}
-	}
-	kindAxis, err := sweep.ParseAxis("runahead", kinds)
-	if err != nil {
-		return nil, err
-	}
-	for _, v := range kindAxis.Values {
-		if _, err := parseRunaheadKind(v); err != nil {
-			return nil, err
-		}
-	}
-	axes := []sweep.Axis{robAxis, kindAxis}
-	switch mode {
-	case "ipc":
-		if workloadsCSV == "all" {
-			var names []string
-			for _, k := range workload.Kernels() {
-				names = append(names, k.Name)
-			}
-			workloadsCSV = strings.Join(names, ",")
-		}
-		wAxis, err := sweep.ParseAxis("workload", workloadsCSV)
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range wAxis.Values {
-			if _, err := workload.ByName(v); err != nil {
-				return nil, err
-			}
-		}
-		axes = append(axes, wAxis)
-	case "attack":
-		vAxis, err := sweep.ParseAxis("variant", variantsCSV)
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range vAxis.Values {
-			if _, err := parseVariant(v); err != nil {
-				return nil, err
-			}
-		}
-		sAxis, err := sweep.ParseAxis("secret", secretsCSV)
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range sAxis.Values {
-			if n, err := strconv.Atoi(v); err != nil || n < 0 || n > 255 {
-				return nil, fmt.Errorf("sweep: secret byte %q out of range", v)
-			}
-		}
-		axes = append(axes, vAxis, sAxis)
-	}
-	return axes, nil
-}
-
-// pointConfig builds the machine configuration for one grid point.
-func pointConfig(p sweep.Point, secure bool) (core.Config, error) {
-	cfg := core.DefaultConfig()
-	rob, err := strconv.Atoi(p["rob"])
-	if err != nil {
-		return cfg, fmt.Errorf("sweep: bad ROB size %q", p["rob"])
-	}
-	cfg.ROBSize = rob
-	kind, err := parseRunaheadKind(p["runahead"])
-	if err != nil {
-		return cfg, err
-	}
-	cfg.Runahead.Kind = kind
-	cfg.Secure.Enabled = secure
-	return cfg, nil
-}
-
-func sweepIPC(ctx context.Context, points []sweep.Point, secure bool, opt sweep.Options) ([]string, []map[string]any, error) {
-	results, err := sweep.Run(ctx, points, func(_ context.Context, p sweep.Point) (map[string]any, error) {
-		cfg, err := pointConfig(p, secure)
-		if err != nil {
-			return nil, err
-		}
-		k, err := workload.ByName(p["workload"])
-		if err != nil {
-			return nil, err
-		}
-		m, err := core.RunProgram(cfg, k.Build())
-		if err != nil {
-			return nil, err
-		}
-		st := m.Stats()
-		return map[string]any{
-			"cycles":   st.Cycles,
-			"insts":    st.Committed,
-			"ipc":      st.IPC(),
-			"episodes": st.RunaheadEpisodes,
-		}, nil
-	}, opt)
-	cols := []string{"rob", "runahead", "workload", "cycles", "insts", "ipc", "episodes", "error"}
-	return cols, mergeSweepRows(points, results, err), err
-}
-
-func sweepAttack(ctx context.Context, points []sweep.Point, pad int, secure bool, opt sweep.Options) ([]string, []map[string]any, error) {
-	results, err := sweep.Run(ctx, points, func(_ context.Context, p sweep.Point) (map[string]any, error) {
-		cfg, err := pointConfig(p, secure)
-		if err != nil {
-			return nil, err
-		}
-		params := attack.DefaultParams()
-		params.Variant, err = parseVariant(p["variant"])
-		if err != nil {
-			return nil, err
-		}
-		sec, err := strconv.Atoi(p["secret"])
-		if err != nil {
-			return nil, fmt.Errorf("sweep: bad secret %q", p["secret"])
-		}
-		params.Secret = []byte{byte(sec)}
-		params.NopPad = pad
-		r, err := core.RunAttack(cfg, params)
-		if err != nil {
-			return nil, err
-		}
-		leakedByte := -1
-		if v, ok := r.LeakedByte(); ok {
-			leakedByte = int(v)
-		}
-		return map[string]any{
-			"leaked":       r.Leaked,
-			"leaked_byte":  leakedByte,
-			"best_idx":     r.BestIdx,
-			"best_lat":     r.BestLat,
-			"median":       r.Median,
-			"episodes":     r.Stats.RunaheadEpisodes,
-			"inv_branches": r.Stats.INVBranches,
-		}, nil
-	}, opt)
-	cols := []string{"rob", "runahead", "variant", "secret", "leaked", "leaked_byte", "best_idx", "best_lat", "median", "episodes", "inv_branches", "error"}
-	return cols, mergeSweepRows(points, results, err), err
-}
-
-// mergeSweepRows joins grid points with their metric maps, attaching
-// per-job error strings so one failing point doesn't hide the rest.
-// Points the engine never ran (cancelled mid-sweep) are marked in the
-// error column so downstream tooling can tell them from measured rows.
-func mergeSweepRows(points []sweep.Point, results []map[string]any, err error) []map[string]any {
-	perJob := map[int]string{}
-	for _, e := range flattenErrs(err) {
-		if je, ok := e.(*sweep.JobError); ok {
-			perJob[je.Index] = je.Err.Error()
-		}
-	}
-	rows := make([]map[string]any, len(points))
-	for i, p := range points {
-		errCell := perJob[i]
-		if errCell == "" && results[i] == nil && err != nil {
-			errCell = "cancelled"
-		}
-		row := map[string]any{"error": errCell}
-		for k, v := range p {
-			row[k] = v
-		}
-		for k, v := range results[i] {
-			row[k] = v
-		}
-		rows[i] = row
-	}
-	return rows
+	return out, nil
 }
 
 // writeSweep renders the merged rows as an aligned table, JSON, or CSV.
@@ -366,34 +201,4 @@ func cellString(v any) string {
 	default:
 		return fmt.Sprint(v)
 	}
-}
-
-// parseRunaheadKind maps a CLI token to a runahead kind.
-func parseRunaheadKind(s string) (runahead.Kind, error) {
-	switch s {
-	case "none":
-		return runahead.KindNone, nil
-	case "original":
-		return runahead.KindOriginal, nil
-	case "precise":
-		return runahead.KindPrecise, nil
-	case "vector":
-		return runahead.KindVector, nil
-	}
-	return 0, fmt.Errorf("unknown runahead mode %q", s)
-}
-
-// parseVariant maps a CLI token to a Spectre variant.
-func parseVariant(s string) (attack.Variant, error) {
-	switch s {
-	case "pht":
-		return attack.VariantPHT, nil
-	case "btb":
-		return attack.VariantBTB, nil
-	case "rsb-overwrite":
-		return attack.VariantRSBOverwrite, nil
-	case "rsb-flush":
-		return attack.VariantRSBFlush, nil
-	}
-	return 0, fmt.Errorf("unknown variant %q", s)
 }

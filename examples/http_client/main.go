@@ -1,0 +1,94 @@
+// HTTP client walk: start the simulation service in-process, reproduce
+// Fig. 9 over the wire, and watch the content-addressed cache turn the
+// second identical request into a byte-for-byte replay — the serving story
+// behind `specrun serve`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"specrun"
+)
+
+func main() {
+	// The same server `specrun serve` runs, mounted on an ephemeral port.
+	srv := specrun.NewServer(specrun.ServerOptions{Workers: 0, CacheEntries: 64})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// Fig. 9 over HTTP: POST an empty body to run the paper configuration.
+	body1, cache1, dur1 := post(base+"/v1/run/fig9", "{}")
+	var fig9 struct {
+		BestIdx int    `json:"best_idx"`
+		BestLat uint64 `json:"best_lat"`
+		Median  uint64 `json:"median"`
+		Leaked  bool   `json:"leaked"`
+	}
+	if err := json.Unmarshal(body1, &fig9); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /v1/run/fig9   %-4s  %8s  leaked byte %d (lat %d vs median %d)\n",
+		cache1, dur1.Round(time.Millisecond), fig9.BestIdx, fig9.BestLat, fig9.Median)
+
+	// The identical request again: served from the cache, byte-identical.
+	body2, cache2, dur2 := post(base+"/v1/run/fig9", "{}")
+	fmt.Printf("POST /v1/run/fig9   %-4s  %8s  byte-identical: %v\n",
+		cache2, dur2.Round(time.Microsecond), bytes.Equal(body1, body2))
+
+	// A different machine (half the ROB) is a different cache entry.
+	_, cache3, _ := post(base+"/v1/run/fig9", `{"config": {"rob_size": 128}}`)
+	fmt.Printf("POST /v1/run/fig9   %-4s  (rob_size 128: new configuration, new entry)\n\n", cache3)
+
+	// The server's own accounting.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Simulations uint64 `json:"simulations"`
+		Cache       struct {
+			Hits    uint64  `json:"hits"`
+			Misses  uint64  `json:"misses"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET  /v1/stats            simulations %d, cache %d/%d hit (rate %.2f)\n",
+		stats.Simulations, stats.Cache.Hits, stats.Cache.Hits+stats.Cache.Misses, stats.Cache.HitRate)
+}
+
+// post issues one JSON request and reports the body, the X-Cache
+// disposition and the wall time.
+func post(url, body string) ([]byte, string, time.Duration) {
+	start := time.Now()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes(), resp.Header.Get("X-Cache"), time.Since(start)
+}

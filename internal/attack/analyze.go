@@ -11,11 +11,11 @@ import (
 
 // Analysis interprets one probe sweep (the data behind Fig. 9 / Fig. 11).
 type Analysis struct {
-	Latencies []uint64
-	BestIdx   int    // index with the fastest access
-	BestLat   uint64 // its latency
-	Median    uint64 // median across all indices
-	Leaked    bool   // BestLat is an outlier hit: the covert channel fired
+	Latencies []uint64 `json:"latencies"`
+	BestIdx   int      `json:"best_idx"` // index with the fastest access
+	BestLat   uint64   `json:"best_lat"` // its latency
+	Median    uint64   `json:"median"`   // median across all indices
+	Leaked    bool     `json:"leaked"`   // BestLat is an outlier hit: the covert channel fired
 }
 
 // hitFactor: an index counts as leaked if its latency is below median/hitFactor.
@@ -49,11 +49,12 @@ func (a Analysis) LeakedByte() (byte, bool) {
 	return byte(a.BestIdx), true
 }
 
-// Result is one full PoC run.
+// Result is one full PoC run.  The embedded Analysis flattens into the JSON
+// document, so the wire shape is {"latencies": ..., "layout": ..., "stats": ...}.
 type Result struct {
 	Analysis
-	Layout Layout
-	Stats  cpu.Stats
+	Layout Layout    `json:"layout"`
+	Stats  cpu.Stats `json:"stats"`
 }
 
 // runBudget bounds one PoC simulation.

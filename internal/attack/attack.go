@@ -49,14 +49,37 @@ func (v Variant) String() string {
 	return "unknown"
 }
 
-// Params configures a PoC build.
+// MarshalText renders the variant as its String form, so parameters
+// serialise to stable, human-readable JSON ("pht" rather than 0).
+func (v Variant) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText parses the String form.
+func (v *Variant) UnmarshalText(text []byte) error {
+	switch s := string(text); s {
+	case "pht", "":
+		*v = VariantPHT
+	case "btb":
+		*v = VariantBTB
+	case "rsb-overwrite":
+		*v = VariantRSBOverwrite
+	case "rsb-flush":
+		*v = VariantRSBFlush
+	default:
+		return fmt.Errorf("attack: unknown variant %q", s)
+	}
+	return nil
+}
+
+// Params configures a PoC build.  The JSON tags define the stable wire
+// format used by the HTTP API; Secret is base64 on the wire (encoding/json's
+// []byte convention), so secret byte 86 is "Vg==".
 type Params struct {
-	Variant        Variant
-	Secret         []byte // bytes planted beyond the bounds-checked region
-	SecretIdx      int    // which secret byte this run extracts
-	TrainingRounds int    // T in Fig. 8
-	ProbeStride    int    // N in Fig. 8 (bytes between probe entries)
-	NopPad         int    // nops between the branch and the secret access (Fig. 11)
+	Variant        Variant `json:"variant"`
+	Secret         []byte  `json:"secret"`          // bytes planted beyond the bounds-checked region
+	SecretIdx      int     `json:"secret_idx"`      // which secret byte this run extracts
+	TrainingRounds int     `json:"training_rounds"` // T in Fig. 8
+	ProbeStride    int     `json:"probe_stride"`    // N in Fig. 8 (bytes between probe entries)
+	NopPad         int     `json:"nop_pad"`         // nops between the branch and the secret access (Fig. 11)
 }
 
 // DefaultParams returns the Fig. 8/9 configuration: T=16 trainings, N=512,
@@ -72,14 +95,14 @@ func DefaultParams() Params {
 
 // Layout reports the addresses the driver needs to interpret results.
 type Layout struct {
-	Array1     uint64 // bounds-checked array base
-	Array1Size uint64 // value of the bound (stored at D)
-	D          uint64 // the flushed datum: the bound lives here (array1_size = f(D))
-	Array2     uint64 // probe array base (256 * ProbeStride bytes)
-	Results    uint64 // 256 u64 latencies written by the probe loop
-	Secret     uint64 // where the secret bytes were planted
-	MaliciousX uint64 // out-of-bounds index used by the attack call
-	Stride     uint64
+	Array1     uint64 `json:"array1"`      // bounds-checked array base
+	Array1Size uint64 `json:"array1_size"` // value of the bound (stored at D)
+	D          uint64 `json:"d"`           // the flushed datum: the bound lives here (array1_size = f(D))
+	Array2     uint64 `json:"array2"`      // probe array base (256 * ProbeStride bytes)
+	Results    uint64 `json:"results"`     // 256 u64 latencies written by the probe loop
+	Secret     uint64 `json:"secret"`      // where the secret bytes were planted
+	MaliciousX uint64 `json:"malicious_x"` // out-of-bounds index used by the attack call
+	Stride     uint64 `json:"stride"`
 }
 
 // Attacker/victim register conventions shared by the variants.

@@ -1,0 +1,90 @@
+package attack
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"specrun/internal/cpu"
+)
+
+// TestParamsJSONRoundTrip pins the request wire format for every variant.
+func TestParamsJSONRoundTrip(t *testing.T) {
+	for _, v := range []Variant{VariantPHT, VariantBTB, VariantRSBOverwrite, VariantRSBFlush} {
+		p := DefaultParams()
+		p.Variant = v
+		p.Secret = []byte("KEY")
+		p.NopPad = 300
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), `"variant": "`+v.String()+`"`) &&
+			!strings.Contains(string(b), `"variant":"`+v.String()+`"`) {
+			t.Fatalf("variant not encoded as text: %s", b)
+		}
+		var got Params
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Fatalf("round trip mutated params:\n%s", b)
+		}
+	}
+	// Unknown tokens fail loudly.
+	var p Params
+	if err := json.Unmarshal([]byte(`{"variant": "meltdown"}`), &p); err == nil {
+		t.Fatal("unknown variant token accepted")
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := Result{
+		Analysis: Analysis{Latencies: []uint64{250, 8, 250}, BestIdx: 1, BestLat: 8, Median: 250, Leaked: true},
+		Layout:   Layout{Array1: 0x1000, Array1Size: 16, D: 0x800, Array2: 0x4000, Results: 0x5000, Secret: 0x1400, MaliciousX: 1025, Stride: 512},
+		Stats:    cpu.Stats{Cycles: 12345, Committed: 6789, RunaheadEpisodes: 1, EpisodeReaches: []uint64{480}},
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The embedded Analysis flattens: latencies sits at the top level.
+	var shape map[string]any
+	if err := json.Unmarshal(b, &shape); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"latencies", "best_idx", "layout", "stats"} {
+		if _, ok := shape[key]; !ok {
+			t.Fatalf("wire shape missing %q: %s", key, b)
+		}
+	}
+	var got Result
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mutated the result:\n%s", b)
+	}
+}
+
+func TestWindowResultJSONRoundTrip(t *testing.T) {
+	for _, s := range []WindowScenario{Window1NormalFlushOnce, Window2RunaheadFlushOnce, Window3RunaheadFlushRepeat} {
+		w := WindowResult{Scenario: s, N: 480, Episodes: 1, Reaches: []uint64{480}}
+		b, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got WindowResult
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(w, got) {
+			t.Fatalf("scenario %v: round trip mutated the result:\n%s", s, b)
+		}
+	}
+	var w WindowResult
+	if err := json.Unmarshal([]byte(`{"scenario": "warp-speed"}`), &w); err == nil {
+		t.Fatal("unknown scenario token accepted")
+	}
+}

@@ -40,6 +40,34 @@ func (w WindowScenario) String() string {
 	return "unknown"
 }
 
+// MarshalText renders the scenario as a compact stable token for JSON.
+func (w WindowScenario) MarshalText() ([]byte, error) {
+	switch w {
+	case Window1NormalFlushOnce:
+		return []byte("normal-flush-once"), nil
+	case Window2RunaheadFlushOnce:
+		return []byte("runahead-flush-once"), nil
+	case Window3RunaheadFlushRepeat:
+		return []byte("runahead-flush-repeat"), nil
+	}
+	return nil, fmt.Errorf("attack: unknown window scenario %d", w)
+}
+
+// UnmarshalText parses the MarshalText form.
+func (w *WindowScenario) UnmarshalText(text []byte) error {
+	switch s := string(text); s {
+	case "normal-flush-once":
+		*w = Window1NormalFlushOnce
+	case "runahead-flush-once":
+		*w = Window2RunaheadFlushOnce
+	case "runahead-flush-repeat":
+		*w = Window3RunaheadFlushRepeat
+	default:
+		return fmt.Errorf("attack: unknown window scenario %q", s)
+	}
+	return nil
+}
+
 // windowNops is the length of the NOP stream behind the stalling load; it
 // must exceed any reachable window.
 const windowNops = 4000
@@ -108,10 +136,10 @@ func BuildWindowProgram(s WindowScenario) *asm.Program {
 
 // WindowResult is one Fig. 10 measurement.
 type WindowResult struct {
-	Scenario WindowScenario
-	N        uint64 // transient instructions executable during the stall
-	Episodes uint64
-	Reaches  []uint64
+	Scenario WindowScenario `json:"scenario"`
+	N        uint64         `json:"n"` // transient instructions executable during the stall
+	Episodes uint64         `json:"episodes"`
+	Reaches  []uint64       `json:"reaches,omitempty"`
 }
 
 // MeasureWindow runs one scenario and reports the measured window size:

@@ -17,12 +17,12 @@ import "fmt"
 
 // Config sizes the prediction structures.
 type Config struct {
-	HistoryBits int // global history register width
-	PHTSize     int // number of 2-bit counters (power of two)
-	BTBSets     int // power of two
-	BTBAssoc    int
-	BTBTagBits  int // partial-tag width; 0 means full tags (no aliasing)
-	RSBSize     int
+	HistoryBits int `json:"history_bits"` // global history register width
+	PHTSize     int `json:"pht_size"`     // number of 2-bit counters (power of two)
+	BTBSets     int `json:"btb_sets"`     // power of two
+	BTBAssoc    int `json:"btb_assoc"`
+	BTBTagBits  int `json:"btb_tag_bits"` // partial-tag width; 0 means full tags (no aliasing)
+	RSBSize     int `json:"rsb_size"`
 }
 
 // DefaultConfig returns the configuration used for Table 1's "two-level

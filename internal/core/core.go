@@ -78,13 +78,13 @@ func RunProgram(cfg Config, prog *asm.Program) (*Machine, error) {
 
 // IPCRow is one bar pair of Fig. 7.
 type IPCRow struct {
-	Name        string
-	Cycles      [2]uint64 // [no-runahead, runahead]
-	Insts       uint64
-	IPC         [2]float64
-	Episodes    uint64
-	Speedup     float64 // IPC[1]/IPC[0]
-	Description string
+	Name        string     `json:"name"`
+	Cycles      [2]uint64  `json:"cycles"` // [no-runahead, runahead]
+	Insts       uint64     `json:"insts"`
+	IPC         [2]float64 `json:"ipc"`
+	Episodes    uint64     `json:"episodes"`
+	Speedup     float64    `json:"speedup"` // IPC[1]/IPC[0]
+	Description string     `json:"description"`
 }
 
 // ipcJob is one simulation of the Fig. 7 grid: kernel × {baseline, runahead}.
@@ -186,8 +186,8 @@ func RunFig9(cfg Config) (AttackResult, error) {
 
 // Fig11Result pairs the two machines of Fig. 11.
 type Fig11Result struct {
-	Runahead   AttackResult
-	NoRunahead AttackResult
+	Runahead   AttackResult `json:"runahead"`
+	NoRunahead AttackResult `json:"no_runahead"`
 }
 
 // RunFig11 reproduces Fig. 11: the nop-padded gadget (secret access beyond
@@ -225,9 +225,9 @@ func RunFig10Ctx(ctx context.Context, cfg Config, workers int) (n1, n2, n3 attac
 
 // DefenseResult compares the attack under the vulnerable and secure machines.
 type DefenseResult struct {
-	Vulnerable AttackResult
-	Secure     AttackResult
-	SkipINV    AttackResult
+	Vulnerable AttackResult `json:"vulnerable"`
+	Secure     AttackResult `json:"secure"`
+	SkipINV    AttackResult `json:"skip_inv"`
 }
 
 // RunDefense reproduces the §6 evaluation: the Fig. 11 attack against the
@@ -257,8 +257,8 @@ func RunDefenseCtx(ctx context.Context, cfg Config, workers int) (DefenseResult,
 
 // VariantOutcome is one row of the §4.3/§4.4 applicability matrix.
 type VariantOutcome struct {
-	Label  string
-	Result AttackResult
+	Label  string       `json:"label"`
+	Result AttackResult `json:"result"`
 }
 
 // RunVariantMatrix runs the PoC across Spectre variants (§4.4) and runahead

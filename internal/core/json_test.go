@@ -1,0 +1,134 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"specrun/internal/attack"
+	"specrun/internal/cpu"
+	"specrun/internal/runahead"
+)
+
+// TestConfigJSONRoundTrip pins the wire format: a configuration survives
+// marshal → unmarshal exactly, including the enum text forms.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"default":  DefaultConfig(),
+		"baseline": BaselineConfig(),
+		"secure":   SecureConfig(),
+		"vector":   VariantConfig(runahead.KindVector),
+	} {
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var got Config
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(cfg, got) {
+			t.Fatalf("%s: round trip mutated the config:\n%s", name, b)
+		}
+	}
+	// Enums travel as text, not ints.
+	b, _ := json.Marshal(DefaultConfig())
+	for _, want := range []string{`"kind":"original"`, `"trigger_level":"mem"`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("encoded config missing %s:\n%s", want, b)
+		}
+	}
+}
+
+func sampleAttackResult() AttackResult {
+	return AttackResult{
+		Analysis: attack.Analysis{
+			Latencies: []uint64{200, 12, 200},
+			BestIdx:   1,
+			BestLat:   12,
+			Median:    200,
+			Leaked:    true,
+		},
+		Layout: attack.Layout{Array1: 0x1000, Array2: 0x2000, Results: 0x3000, Secret: 0x1400, MaliciousX: 1024, Stride: 512},
+		Stats:  cpu.Stats{Cycles: 9000, Committed: 4000, RunaheadEpisodes: 2, INVBranches: 1, EpisodeReaches: []uint64{100, 480}},
+	}
+}
+
+// TestResultJSONRoundTrip covers every result row the API serves.
+func TestResultJSONRoundTrip(t *testing.T) {
+	ar := sampleAttackResult()
+	for name, v := range map[string]any{
+		"ipc_row": &IPCRow{Name: "mcf", Cycles: [2]uint64{100, 80}, Insts: 50,
+			IPC: [2]float64{0.5, 0.625}, Episodes: 3, Speedup: 1.25, Description: "pointer chasing"},
+		"fig11":   &Fig11Result{Runahead: ar, NoRunahead: ar},
+		"defense": &DefenseResult{Vulnerable: ar, Secure: ar, SkipINV: ar},
+		"variant": &VariantOutcome{Label: "spectre-pht", Result: ar},
+	} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+		if err := json.Unmarshal(b, got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(v, got) {
+			t.Fatalf("%s: round trip mutated the value:\n%s", name, b)
+		}
+	}
+}
+
+// TestNormalize: zero-valued fields fill with Table 1 defaults; the fields
+// whose zero is meaningful survive.
+func TestNormalize(t *testing.T) {
+	if got, want := Normalize(Config{}), BaselineConfig(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Normalize(zero) = %+v\nwant baseline %+v", got, want)
+	}
+	cfg := Config{ROBSize: 128}
+	cfg.Runahead.Kind = runahead.KindPrecise
+	cfg.Secure.Enabled = true
+	got := Normalize(cfg)
+	if got.ROBSize != 128 || got.Runahead.Kind != runahead.KindPrecise || !got.Secure.Enabled {
+		t.Fatalf("Normalize dropped explicit fields: %+v", got)
+	}
+	if got.FetchWidth != DefaultConfig().FetchWidth || got.Mem.L2.Size != DefaultConfig().Mem.L2.Size {
+		t.Fatalf("Normalize left zero fields: %+v", got)
+	}
+	// Normalizing is idempotent and a no-op on a complete config.
+	if d := DefaultConfig(); !reflect.DeepEqual(Normalize(d), d) {
+		t.Fatal("Normalize mutated a complete config")
+	}
+}
+
+// TestHashKey: deterministic, config-sensitive, normalize-stable.
+func TestHashKey(t *testing.T) {
+	p := attack.DefaultParams()
+	k1, err := HashKey("fig9", Normalize(DefaultConfig()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := HashKey("fig9", Normalize(DefaultConfig()), p)
+	if k1 != k2 {
+		t.Fatal("HashKey is not deterministic")
+	}
+	if k3, _ := HashKey("fig10", Normalize(DefaultConfig()), p); k3 == k1 {
+		t.Fatal("driver name does not reach the key")
+	}
+	small := DefaultConfig()
+	small.ROBSize = 64
+	if k4, _ := HashKey("fig9", Normalize(small), p); k4 == k1 {
+		t.Fatal("config does not reach the key")
+	}
+	// A sparse config normalizes onto the same key as its explicit form.
+	sparse := Config{}
+	sparse.Runahead.Kind = runahead.KindOriginal
+	if k5, _ := HashKey("fig9", Normalize(sparse), p); k5 != k1 {
+		t.Fatal("normalized sparse config hashes differently from the default machine")
+	}
+	p2 := p
+	p2.Secret = []byte{127}
+	if k6, _ := HashKey("fig9", Normalize(DefaultConfig()), p2); k6 == k1 {
+		t.Fatal("params do not reach the key")
+	}
+}

@@ -32,39 +32,45 @@ import (
 
 // SecureConfig enables the §6 defense.
 type SecureConfig struct {
-	Enabled   bool
-	SLEntries int // SL cache capacity in lines
-	SLLatency int // SL cache hit latency in cycles
+	Enabled   bool `json:"enabled"`
+	SLEntries int  `json:"sl_entries"` // SL cache capacity in lines
+	SLLatency int  `json:"sl_latency"` // SL cache hit latency in cycles
 }
 
-// Config is the full machine configuration (defaults per Table 1).
+// Config is the full machine configuration (defaults per Table 1).  The JSON
+// tags define the stable wire format used by the HTTP API and the JSON CLI
+// output; partial documents decode over DefaultConfig.
 type Config struct {
-	FetchWidth    int
-	DecodeWidth   int
-	DispatchWidth int
-	IssueWidth    int
-	CommitWidth   int
-	FrontEndDepth int // front-end stages between fetch and dispatch
+	FetchWidth    int `json:"fetch_width"`
+	DecodeWidth   int `json:"decode_width"`
+	DispatchWidth int `json:"dispatch_width"`
+	IssueWidth    int `json:"issue_width"`
+	CommitWidth   int `json:"commit_width"`
+	FrontEndDepth int `json:"front_end_depth"` // front-end stages between fetch and dispatch
 
-	ROBSize int
-	IQSize  int
-	LQSize  int
-	SQSize  int
+	ROBSize int `json:"rob_size"`
+	IQSize  int `json:"iq_size"`
+	LQSize  int `json:"lq_size"`
+	SQSize  int `json:"sq_size"`
 
-	IntPRF int // physical register file sizes (rename resources)
-	FPPRF  int
-	VecPRF int
+	IntPRF int `json:"int_prf"` // physical register file sizes (rename resources)
+	FPPRF  int `json:"fp_prf"`
+	VecPRF int `json:"vec_prf"`
 
-	IntALU, IntMul, IntDiv int // functional unit counts
-	FPAdd, FPMul, FPDiv    int
-	MemPorts               int
+	IntALU   int `json:"int_alu"` // functional unit counts
+	IntMul   int `json:"int_mul"`
+	IntDiv   int `json:"int_div"`
+	FPAdd    int `json:"fp_add"`
+	FPMul    int `json:"fp_mul"`
+	FPDiv    int `json:"fp_div"`
+	MemPorts int `json:"mem_ports"`
 
-	FrontQ int // fetch buffer capacity
+	FrontQ int `json:"front_q"` // fetch buffer capacity
 
-	Mem      mem.Config
-	Branch   branch.Config
-	Runahead runahead.Config
-	Secure   SecureConfig
+	Mem      mem.Config      `json:"mem"`
+	Branch   branch.Config   `json:"branch"`
+	Runahead runahead.Config `json:"runahead"`
+	Secure   SecureConfig    `json:"secure"`
 }
 
 // DefaultConfig returns the Table 1 processor configuration with original
@@ -126,29 +132,29 @@ const (
 
 // Stats aggregates per-run counters.
 type Stats struct {
-	Cycles        uint64
-	Committed     uint64
-	PseudoRetired uint64
-	Fetched       uint64
-	Dispatched    uint64
-	Issued        uint64
-	Squashed      uint64
+	Cycles        uint64 `json:"cycles"`
+	Committed     uint64 `json:"committed"`
+	PseudoRetired uint64 `json:"pseudo_retired"`
+	Fetched       uint64 `json:"fetched"`
+	Dispatched    uint64 `json:"dispatched"`
+	Issued        uint64 `json:"issued"`
+	Squashed      uint64 `json:"squashed"`
 
-	CondBranches    uint64
-	CondMispredicts uint64
-	INVBranches     uint64 // unresolved branches inside runahead (the SPECRUN window)
+	CondBranches    uint64 `json:"cond_branches"`
+	CondMispredicts uint64 `json:"cond_mispredicts"`
+	INVBranches     uint64 `json:"inv_branches"` // unresolved branches inside runahead (the SPECRUN window)
 
-	RunaheadEpisodes uint64
-	RunaheadCycles   uint64
-	EpisodeReaches   []uint64 // transient reach (uops past the stalling load) per episode
-	MaxStallWindow   uint64   // normal-mode in-flight high-water mark during memory stalls
-	ROBFullCycles    uint64
-	SLWaits          uint64 // loads stalled on SL-cache branch gating
-	VectorPrefetches uint64
-	DroppedPRE       uint64 // non-slice uops dropped in precise runahead mode
-	SkipBarriers     uint64 // INV-branch fetch barriers (SkipINVBranch mitigation)
-	LoadBlockedSQ    uint64 // load issue attempts blocked by older stores
-	RAPrefIssued     uint64 // memory-level fills issued during runahead (prefetches)
+	RunaheadEpisodes uint64   `json:"runahead_episodes"`
+	RunaheadCycles   uint64   `json:"runahead_cycles"`
+	EpisodeReaches   []uint64 `json:"episode_reaches,omitempty"` // transient reach (uops past the stalling load) per episode
+	MaxStallWindow   uint64   `json:"max_stall_window"`          // normal-mode in-flight high-water mark during memory stalls
+	ROBFullCycles    uint64   `json:"rob_full_cycles"`
+	SLWaits          uint64   `json:"sl_waits"` // loads stalled on SL-cache branch gating
+	VectorPrefetches uint64   `json:"vector_prefetches"`
+	DroppedPRE       uint64   `json:"dropped_pre"`     // non-slice uops dropped in precise runahead mode
+	SkipBarriers     uint64   `json:"skip_barriers"`   // INV-branch fetch barriers (SkipINVBranch mitigation)
+	LoadBlockedSQ    uint64   `json:"load_blocked_sq"` // load issue attempts blocked by older stores
+	RAPrefIssued     uint64   `json:"ra_pref_issued"`  // memory-level fills issued during runahead (prefetches)
 }
 
 // IPC returns committed instructions per cycle.

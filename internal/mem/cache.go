@@ -4,10 +4,10 @@ import "fmt"
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {
-	Name    string
-	Size    int // total bytes
-	Assoc   int // ways per set
-	Latency int // access latency in cycles
+	Name    string `json:"name"`
+	Size    int    `json:"size"`    // total bytes
+	Assoc   int    `json:"assoc"`   // ways per set
+	Latency int    `json:"latency"` // access latency in cycles
 }
 
 // CacheStats counts cache events.

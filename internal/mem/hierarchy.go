@@ -28,6 +28,29 @@ func (l Level) String() string {
 	}
 }
 
+// MarshalText renders the level as its String form, so configurations
+// serialise to stable, human-readable JSON ("mem" rather than 4).
+func (l Level) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
+
+// UnmarshalText parses the String form (case-insensitive).
+func (l *Level) UnmarshalText(text []byte) error {
+	switch s := string(text); s {
+	case "none", "":
+		*l = LevelNone
+	case "L1", "l1":
+		*l = LevelL1
+	case "L2", "l2":
+		*l = LevelL2
+	case "L3", "l3":
+		*l = LevelL3
+	case "mem", "Mem", "MEM":
+		*l = LevelMem
+	default:
+		return fmt.Errorf("mem: unknown level %q", s)
+	}
+	return nil
+}
+
 // Port selects the first-level cache used by an access.
 type Port uint8
 
@@ -42,11 +65,14 @@ const (
 // paper: 16KB 4-way L1s (2 cycles), 128KB 8-way L2 (8 cycles), 4MB 8-way L3
 // (32 cycles), and a request-based contention model with a 200-cycle memory.
 type Config struct {
-	LineSize          int
-	L1I, L1D, L2, L3  CacheConfig
-	MemLatency        int // DRAM access latency in cycles
-	MemBusCycles      int // per-request channel occupancy (contention)
-	MemMaxOutstanding int // maximum in-flight memory requests (MSHR-like)
+	LineSize          int         `json:"line_size"`
+	L1I               CacheConfig `json:"l1i"`
+	L1D               CacheConfig `json:"l1d"`
+	L2                CacheConfig `json:"l2"`
+	L3                CacheConfig `json:"l3"`
+	MemLatency        int         `json:"mem_latency"`         // DRAM access latency in cycles
+	MemBusCycles      int         `json:"mem_bus_cycles"`      // per-request channel occupancy (contention)
+	MemMaxOutstanding int         `json:"mem_max_outstanding"` // maximum in-flight memory requests (MSHR-like)
 }
 
 // DefaultConfig returns the Table 1 memory configuration.

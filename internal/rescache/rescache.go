@@ -1,0 +1,174 @@
+// Package rescache is a bounded, content-addressed result cache for the
+// simulation server.  Every SPECRUN simulation is fully deterministic — a
+// (driver, config, params) triple always produces byte-identical output —
+// so encoded results are memoized under a canonical hash key (see
+// core.HashKey) in an LRU map, with singleflight deduplication: concurrent
+// requests for the same key run the computation exactly once and all
+// receive the same bytes.
+package rescache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits       uint64  `json:"hits"`        // served from a stored entry
+	Misses     uint64  `json:"misses"`      // computations actually run
+	Dedups     uint64  `json:"dedups"`      // callers coalesced onto an in-flight computation
+	Evictions  uint64  `json:"evictions"`   // entries discarded by the LRU bound
+	Entries    int     `json:"entries"`     // stored entries right now
+	MaxEntries int     `json:"max_entries"` // capacity bound
+	HitRate    float64 `json:"hit_rate"`    // (hits+dedups) / lookups, 0 when idle
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is the bounded LRU content-addressed cache.  All methods are safe
+// for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used; values are *entry
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, dedups, evictions uint64
+}
+
+// New builds a cache bounded to max entries (max <= 0 selects 512).
+func New(max int) *Cache {
+	if max <= 0 {
+		max = 512
+	}
+	return &Cache{
+		max:      max,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached bytes for key, or computes them: the first caller
+// runs fn, concurrent callers for the same key wait for that one result
+// (ctx aborts only the wait, never the computation), and a successful
+// result is stored.  Errors are returned to every coalesced caller and not
+// cached.  hit reports whether the bytes were served without running fn.
+func (c *Cache) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val = el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.val, f.err = runProtected(fn)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.add(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// runProtected converts a panicking computation into an error.  Without
+// this, a panic in fn would unwind past the bookkeeping above, leaving the
+// flight registered forever — every later request for the key would block
+// on a done channel that never closes.
+func runProtected(fn func() ([]byte, error)) (val []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rescache: computation panicked: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// Get returns the stored bytes for key, counting a hit or a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).val, true
+}
+
+// Add stores val under key (replacing any previous value) without counting
+// a lookup.  Used by the async job runner, which computes outside Do so a
+// job cancellation never aborts co-waiting requests.
+func (c *Cache) Add(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.add(key, val)
+}
+
+// add inserts under c.mu, evicting from the LRU tail past the bound.
+func (c *Cache) add(key string, val []byte) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Dedups:     c.dedups,
+		Evictions:  c.evictions,
+		Entries:    c.ll.Len(),
+		MaxEntries: c.max,
+	}
+	if lookups := s.Hits + s.Dedups + s.Misses; lookups > 0 {
+		s.HitRate = float64(s.Hits+s.Dedups) / float64(lookups)
+	}
+	return s
+}

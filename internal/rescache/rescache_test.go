@@ -1,0 +1,171 @@
+package rescache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func compute(calls *atomic.Int64, val string) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		calls.Add(1)
+		return []byte(val), nil
+	}
+}
+
+func TestDoHitMiss(t *testing.T) {
+	c := New(4)
+	var calls atomic.Int64
+	ctx := context.Background()
+
+	v1, hit, err := c.Do(ctx, "k", compute(&calls, "payload"))
+	if err != nil || hit {
+		t.Fatalf("first Do: val=%q hit=%v err=%v", v1, hit, err)
+	}
+	v2, hit, err := c.Do(ctx, "k", compute(&calls, "other"))
+	if err != nil || !hit {
+		t.Fatalf("second Do: hit=%v err=%v", hit, err)
+	}
+	if !bytes.Equal(v1, v2) {
+		t.Fatalf("cached bytes differ: %q vs %q", v1, v2)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	var calls atomic.Int64
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "c"} {
+		if _, _, err := c.Do(ctx, k, compute(&calls, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", st)
+	}
+	// "a" was the LRU victim; "b" and "c" survive.
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("evicted key still present")
+	}
+	for _, k := range []string{"b", "c"} {
+		if v, ok := c.Get(k); !ok || string(v) != k {
+			t.Fatalf("key %q: val=%q ok=%v", k, v, ok)
+		}
+	}
+	// Touching "b" makes "c" the victim of the next insert.
+	c.Get("b")
+	c.Add("d", []byte("d"))
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("LRU order ignored recency: c should have been evicted")
+	}
+	if v, ok := c.Get("b"); !ok || string(v) != "b" {
+		t.Fatal("recently used key evicted")
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := New(4)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const waiters = 10
+
+	var wg sync.WaitGroup
+	vals := make([][]byte, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+				calls.Add(1)
+				<-release
+				return []byte("once"), nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Wait until one computation is in flight, then let it finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("computation never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Give the other goroutines a moment to coalesce onto the flight, so the
+	// dedup counter is meaningful (late arrivals would hit the cache instead,
+	// which is also correct but exercises less).
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1", n)
+	}
+	for i, v := range vals {
+		if string(v) != "once" {
+			t.Fatalf("waiter %d got %q", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Dedups != waiters-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d coalesced/hit lookups", st, waiters-1)
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	ctx := context.Background()
+	if _, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	var calls atomic.Int64
+	v, hit, err := c.Do(ctx, "k", compute(&calls, "ok"))
+	if err != nil || hit || string(v) != "ok" || calls.Load() != 1 {
+		t.Fatalf("retry after error: val=%q hit=%v err=%v calls=%d", v, hit, err, calls.Load())
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want only the successful result", st.Entries)
+	}
+}
+
+func TestWaiterContextCancel(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.Do(context.Background(), "k", func() ([]byte, error) {
+		close(started)
+		<-release
+		return []byte("slow"), nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() ([]byte, error) {
+		return nil, fmt.Errorf("must not run: flight in progress")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

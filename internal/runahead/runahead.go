@@ -11,6 +11,8 @@
 package runahead
 
 import (
+	"fmt"
+
 	"specrun/internal/isa"
 	"specrun/internal/mem"
 )
@@ -48,14 +50,35 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// MarshalText renders the kind as its String form, so configurations
+// serialise to stable, human-readable JSON ("original" rather than 1).
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses the String form.
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch s := string(text); s {
+	case "none", "":
+		*k = KindNone
+	case "original":
+		*k = KindOriginal
+	case "precise":
+		*k = KindPrecise
+	case "vector":
+		*k = KindVector
+	default:
+		return fmt.Errorf("runahead: unknown kind %q", s)
+	}
+	return nil
+}
+
 // Config parameterises the runahead controller.
 type Config struct {
-	Kind               Kind
-	TriggerLevel       mem.Level // miss depth that triggers entry (default: main memory)
-	RunaheadCacheBytes int       // capacity of the runahead store cache
-	ExitPenalty        int       // cycles between exit and fetch restart
-	VectorLanes        int       // lanes for KindVector prefetching
-	SkipINVBranch      bool      // §6 alternative mitigation: stop speculation at INV branches
+	Kind               Kind      `json:"kind"`
+	TriggerLevel       mem.Level `json:"trigger_level"`        // miss depth that triggers entry (default: main memory)
+	RunaheadCacheBytes int       `json:"runahead_cache_bytes"` // capacity of the runahead store cache
+	ExitPenalty        int       `json:"exit_penalty"`         // cycles between exit and fetch restart
+	VectorLanes        int       `json:"vector_lanes"`         // lanes for KindVector prefetching
+	SkipINVBranch      bool      `json:"skip_inv_branch"`      // §6 alternative mitigation: stop speculation at INV branches
 }
 
 // DefaultConfig returns the original-runahead configuration used in the

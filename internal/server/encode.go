@@ -1,0 +1,16 @@
+package server
+
+import "encoding/json"
+
+// Encode renders v in the canonical wire encoding shared by the HTTP API,
+// the result cache and the CLI's --format json: two-space-indented JSON
+// with a trailing newline.  Every consumer goes through this one function,
+// so a cached response body, a fresh response body and CLI output for the
+// same result are byte-identical.
+func Encode(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Job statuses.  Jobs start running immediately (the store is in-memory and
+// the worker budget, not a queue, bounds concurrency) and end in exactly one
+// of done, failed or cancelled.
+const (
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// JobProgress counts completed grid points (total = 1 for driver jobs).
+type JobProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobView is the wire form of a job (POST /v1/jobs, GET /v1/jobs/{id}).
+type JobView struct {
+	ID              string          `json:"id"`
+	Kind            string          `json:"kind"` // driver name, or "sweep"
+	Status          string          `json:"status"`
+	Progress        JobProgress     `json:"progress"`
+	Error           string          `json:"error,omitempty"`
+	Result          json.RawMessage `json:"result,omitempty"` // present once done
+	SubmittedAt     time.Time       `json:"submitted_at"`
+	DurationSeconds float64         `json:"duration_seconds"`
+}
+
+// JobStats summarises the store for GET /v1/stats.
+type JobStats struct {
+	Submitted int `json:"submitted"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+type job struct {
+	id          string
+	kind        string
+	status      string
+	done, total int
+	errText     string
+	result      []byte
+	cancel      context.CancelFunc
+	submitted   time.Time
+	finished    time.Time
+}
+
+// maxJobs bounds the store: once exceeded, the oldest finished jobs (and
+// their result bodies) are dropped.  Running jobs are never evicted, so the
+// store can transiently exceed the bound under extreme concurrency, but a
+// long-lived server no longer accumulates every result ever computed.
+const maxJobs = 256
+
+// jobStore is the in-memory async-job registry.
+type jobStore struct {
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // submission order for listing
+	nextID    int
+	submitted int // lifetime submissions (survives eviction)
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job)}
+}
+
+// create registers a new running job and returns its id.
+func (s *jobStore) create(kind string, cancel context.CancelFunc) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.submitted++
+	id := "j" + strconv.Itoa(s.nextID)
+	s.jobs[id] = &job{
+		id:        id,
+		kind:      kind,
+		status:    JobRunning,
+		total:     1,
+		cancel:    cancel,
+		submitted: time.Now(),
+	}
+	s.order = append(s.order, id)
+	s.prune()
+	return id
+}
+
+// prune evicts the oldest terminal jobs past maxJobs (caller holds s.mu).
+func (s *jobStore) prune() {
+	for len(s.order) > maxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if s.jobs[id].status != JobRunning {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything is still running
+		}
+	}
+}
+
+// progress updates the completed/total counters of a running job.
+func (s *jobStore) progress(id string, done, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok && j.status == JobRunning {
+		j.done, j.total = done, total
+	}
+}
+
+// finish moves a job to its terminal state.  A job already cancelled stays
+// cancelled — DELETE won the race — but a successful result is still
+// attached, since the simulation did complete.
+func (s *jobStore) finish(id string, result []byte, errText string, cancelled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	j.finished = time.Now()
+	switch {
+	case j.status == JobCancelled || cancelled:
+		j.status = JobCancelled
+	case errText != "":
+		j.status = JobFailed
+		j.errText = errText
+		return
+	default:
+		j.status = JobDone
+		j.done = j.total
+	}
+	j.result = result
+}
+
+// cancelJob cancels a running job.  It reports whether the id exists; a job
+// already in a terminal state is left untouched.
+func (s *jobStore) cancelJob(id string) (JobView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobView{}, false
+	}
+	var cancel context.CancelFunc
+	if j.status == JobRunning {
+		j.status = JobCancelled
+		j.finished = time.Now()
+		cancel = j.cancel
+	}
+	v := j.view()
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return v, true
+}
+
+// view snapshots one job (nil cancel-func race is impossible: callers hold s.mu).
+func (j *job) view() JobView {
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return JobView{
+		ID:              j.id,
+		Kind:            j.kind,
+		Status:          j.status,
+		Progress:        JobProgress{Done: j.done, Total: j.total},
+		Error:           j.errText,
+		Result:          json.RawMessage(j.result),
+		SubmittedAt:     j.submitted,
+		DurationSeconds: end.Sub(j.submitted).Seconds(),
+	}
+}
+
+// get snapshots a job by id.
+func (s *jobStore) get(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// list snapshots every job in submission order, without results (a listing
+// of large sweep results would dwarf the useful payload).
+func (s *jobStore) list() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		v := s.jobs[id].view()
+		v.Result = nil
+		out = append(out, v)
+	}
+	return out
+}
+
+// stats summarises the store.
+func (s *jobStore) stats() JobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStats{Submitted: s.submitted}
+	for _, j := range s.jobs {
+		switch j.status {
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		case JobCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}

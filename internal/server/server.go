@@ -1,0 +1,450 @@
+// Package server exposes the SPECRUN experiment drivers as a long-running
+// HTTP/JSON service (`specrun serve`): one POST /v1/run/{driver} endpoint
+// per paper artifact, user-defined grids at POST /v1/sweep, asynchronous
+// jobs with progress and cancellation at /v1/jobs, and introspection at
+// GET /v1/config, /v1/stats and /healthz.
+//
+// Serving leans on two properties of the simulator: determinism and
+// independence.  Every simulation is fully deterministic, so encoded
+// results are memoized in a content-addressed LRU cache
+// (specrun/internal/rescache) keyed by a canonical hash of
+// (driver, config, params); concurrent identical requests collapse onto a
+// single simulation (singleflight).  Simulations are independent, so all
+// execution flows through the sweep engine under one server-wide worker
+// budget (sweep.Gate) — N concurrent requests share a single worker pool
+// instead of oversubscribing the host.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"specrun/internal/core"
+	"specrun/internal/rescache"
+	"specrun/internal/sweep"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the server-wide simulation budget: the maximum number of
+	// simulations in flight at once, across all requests and jobs
+	// (0 = GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the result cache (0 = 512 entries).
+	CacheEntries int
+}
+
+// Server is the simulation service.  Create with New, mount Handler on an
+// http.Server, and Close on shutdown to cancel outstanding jobs.
+type Server struct {
+	opts  Options
+	gate  *sweep.Gate
+	cache *rescache.Cache
+	jobs  *jobStore
+
+	baseCtx context.Context // parent of every computation; Close cancels it
+	stop    context.CancelFunc
+	start   time.Time
+
+	requests    atomic.Uint64 // HTTP requests served
+	simulations atomic.Uint64 // driver/sweep executions actually run (cache misses)
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:    opts,
+		gate:    sweep.NewGate(opts.Workers),
+		cache:   rescache.New(opts.CacheEntries),
+		jobs:    newJobStore(),
+		baseCtx: ctx,
+		stop:    cancel,
+		start:   time.Now(),
+	}
+}
+
+// Close cancels the server's base context: running jobs and in-flight
+// computations observe cancellation and wind down.
+func (s *Server) Close() { s.stop() }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/config", s.handleConfig)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/run/{driver}", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// simCtx is the context every computation runs under: rooted at the server
+// (so a dropped client never aborts a result other waiters share) and
+// carrying the worker budget.
+func (s *Server) simCtx() context.Context {
+	return sweep.WithGate(s.baseCtx, s.gate)
+}
+
+// --- run endpoints ---
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	d, ok := DriverByName(r.PathValue("driver"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown driver %q", r.PathValue("driver"))
+		return
+	}
+	var req RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	cfg, p, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	key, err := d.cacheKey(cfg, p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "cache key: %v", err)
+		return
+	}
+	body, hit, err := s.cache.Do(r.Context(), key, func() ([]byte, error) {
+		s.simulations.Add(1)
+		res, err := d.run(s.simCtx(), cfg, p, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(res)
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%s: %v", d.Name, err)
+		return
+	}
+	writeBody(w, body, hit)
+}
+
+// --- sweep endpoint ---
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Validate up front: a bad grid is a 400, and it must not count as (or
+	// coalesce with) a simulation.
+	if _, err := spec.withDefaults().axes(); err != nil {
+		writeError(w, http.StatusBadRequest, "sweep: %v", err)
+		return
+	}
+	// Workers tunes execution, not the result, so it never reaches the key;
+	// withDefaults makes explicit defaults and omitted fields hash alike.
+	keySpec := spec.withDefaults()
+	keySpec.Workers = 0
+	key, err := core.HashKey("sweep", keySpec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "cache key: %v", err)
+		return
+	}
+	body, hit, err := s.cache.Do(r.Context(), key, func() ([]byte, error) {
+		s.simulations.Add(1)
+		res, _, runErr := RunSweep(s.simCtx(), spec, sweep.Options{})
+		if res.Rows == nil {
+			return nil, runErr // validation failure
+		}
+		// A cancelled grid holds rows that never simulated — transient
+		// state that must not become the permanent entry for this key.
+		// Per-point simulation failures, by contrast, are deterministic
+		// and cache with the rest of the rows.
+		if errors.Is(runErr, context.Canceled) {
+			return nil, runErr
+		}
+		return Encode(res)
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "sweep: %v", err)
+		return
+	}
+	writeBody(w, body, hit)
+}
+
+// --- async jobs ---
+
+// JobRequest is the body of POST /v1/jobs: a run driver (Driver +
+// RunRequest fields) or a sweep (Sweep spec), executed asynchronously.
+type JobRequest struct {
+	Driver string     `json:"driver,omitempty"` // run driver name, or "sweep"
+	Sweep  *SweepSpec `json:"sweep,omitempty"`
+	RunRequest
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	view, err := s.startJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// startJob validates the request, registers the job and launches its
+// runner goroutine.
+func (s *Server) startJob(req JobRequest) (JobView, error) {
+	isSweep := req.Sweep != nil || req.Driver == "sweep"
+	var d Driver
+	if isSweep {
+		if req.Driver != "" && req.Driver != "sweep" {
+			return JobView{}, fmt.Errorf("job: driver %q conflicts with sweep spec", req.Driver)
+		}
+		if req.Sweep == nil {
+			req.Sweep = &SweepSpec{}
+		}
+		// A top-level workers field applies to the sweep unless the spec
+		// sets its own — accepting-but-ignoring it would be a silent trap.
+		if req.Sweep.Workers == 0 {
+			req.Sweep.Workers = req.Workers
+		}
+		// Validate before accepting, so a bad grid 400s instead of
+		// surfacing as a failed job.
+		if _, err := req.Sweep.withDefaults().axes(); err != nil {
+			return JobView{}, err
+		}
+	} else {
+		var ok bool
+		if d, ok = DriverByName(req.Driver); !ok {
+			return JobView{}, fmt.Errorf("job: unknown driver %q", req.Driver)
+		}
+	}
+
+	kind := "sweep"
+	if !isSweep {
+		kind = d.Name
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	id := s.jobs.create(kind, cancel)
+	go func() {
+		defer cancel()
+		if isSweep {
+			s.runSweepJob(ctx, id, *req.Sweep)
+		} else {
+			s.runDriverJob(ctx, id, d, req.RunRequest)
+		}
+	}()
+	view, _ := s.jobs.get(id)
+	return view, nil
+}
+
+// runDriverJob executes one run driver asynchronously, sharing the result
+// cache with the synchronous endpoints: a cached result completes the job
+// instantly, a fresh one is stored for them.  It computes outside
+// rescache.Do so that cancelling this job never aborts a synchronous
+// request coalesced on the same key.
+func (s *Server) runDriverJob(ctx context.Context, id string, d Driver, req RunRequest) {
+	cfg, p, err := req.resolve()
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), false)
+		return
+	}
+	key, err := d.cacheKey(cfg, p)
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), false)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.jobs.finish(id, body, "", false)
+		return
+	}
+	s.simulations.Add(1)
+	res, err := d.run(sweep.WithGate(ctx, s.gate), cfg, p, req.Workers)
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), errors.Is(err, context.Canceled))
+		return
+	}
+	body, err := Encode(res)
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), false)
+		return
+	}
+	s.cache.Add(key, body)
+	s.jobs.finish(id, body, "", false)
+}
+
+// runSweepJob executes a sweep asynchronously with live progress.
+func (s *Server) runSweepJob(ctx context.Context, id string, spec SweepSpec) {
+	s.simulations.Add(1)
+	res, _, runErr := RunSweep(sweep.WithGate(ctx, s.gate), spec, sweep.Options{
+		OnProgress: func(done, total int) { s.jobs.progress(id, done, total) },
+	})
+	cancelled := errors.Is(runErr, context.Canceled)
+	if res.Rows == nil {
+		msg := ""
+		if runErr != nil {
+			msg = runErr.Error()
+		}
+		s.jobs.finish(id, nil, msg, cancelled)
+		return
+	}
+	body, err := Encode(res)
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), false)
+		return
+	}
+	s.jobs.finish(id, body, "", cancelled)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.list())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleJobResult serves a finished job's stored bytes verbatim, so an
+// async result is byte-identical to the synchronous endpoint's body (the
+// result embedded in the job document is re-indented by the outer encoder).
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if len(view.Result) == 0 {
+		writeError(w, http.StatusConflict, "job %s is %s with no result", view.ID, view.Status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(view.Result)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// --- introspection ---
+
+// DriverInfo documents one run endpoint (GET /v1/config).
+type DriverInfo struct {
+	Endpoint string `json:"endpoint"`
+	Artifact string `json:"artifact"`
+}
+
+// ConfigResponse is the body of GET /v1/config.
+type ConfigResponse struct {
+	Config  core.Config  `json:"config"` // Table 1 defaults (the base every partial request overlays)
+	Table1  string       `json:"table1"` // rendered table, as `specrun config` prints it
+	Drivers []DriverInfo `json:"drivers"`
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	cfg := core.DefaultConfig()
+	resp := ConfigResponse{Config: cfg, Table1: core.Table1(cfg)}
+	for _, d := range drivers {
+		resp.Drivers = append(resp.Drivers, DriverInfo{Endpoint: "/v1/run/" + d.Name, Artifact: d.Artifact})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Version       string         `json:"version"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Requests      uint64         `json:"requests"`
+	Simulations   uint64         `json:"simulations"` // driver/sweep executions actually run
+	Workers       int            `json:"workers"`     // server-wide simulation budget
+	Cache         rescache.Stats `json:"cache"`
+	Jobs          JobStats       `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Version:       Version(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Simulations:   s.simulations.Load(),
+		Workers:       s.gate.Cap(),
+		Cache:         s.cache.Stats(),
+		Jobs:          s.jobs.stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// --- helpers ---
+
+// maxBodyBytes bounds request bodies; the largest legitimate document (a
+// full Config overlay plus params) is a few KB.
+const maxBodyBytes = 1 << 20
+
+// decodeBody strictly decodes an optional JSON body; an empty body leaves
+// v at its zero value (the endpoint's defaults).
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// writeBody writes a pre-encoded JSON body with the cache disposition.
+func writeBody(w http.ResponseWriter, body []byte, hit bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.Write(body)
+}
+
+// writeJSON encodes v canonically and writes it with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := Encode(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError emits a JSON error document.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

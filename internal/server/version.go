@@ -1,0 +1,39 @@
+package server
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Version reports the module version and VCS revision baked into the
+// binary by the Go toolchain.  `specrun version` and GET /v1/stats both
+// print exactly this string.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	// Pseudo-versions already embed the revision; don't print it twice.
+	if rev != "" && !strings.Contains(v, rev) {
+		v += " (" + rev + dirty + ")"
+	}
+	return v
+}

@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+)
+
+// Gate is a concurrency budget shared across independent [Run] calls: each
+// worker acquires one token per job, so N concurrent sweeps together never
+// execute more than the gate's capacity of simulations at once, instead of
+// oversubscribing the machine with N×GOMAXPROCS goroutines.  The server
+// subsystem installs one process-wide gate; a nil *Gate imposes no limit.
+type Gate struct {
+	tokens chan struct{}
+}
+
+// NewGate builds a gate admitting n concurrent jobs (n <= 0 = GOMAXPROCS).
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Gate{tokens: make(chan struct{}, n)}
+}
+
+// Cap reports the gate's capacity.
+func (g *Gate) Cap() int { return cap(g.tokens) }
+
+// Acquire blocks until a token is available or ctx is done.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a token taken by Acquire.
+func (g *Gate) Release() { <-g.tokens }
+
+type gateKey struct{}
+
+// WithGate returns a context carrying the gate.  [Run] honors a context
+// gate when Options.Gate is unset, which lets a server-wide budget flow
+// through driver functions that only take a context.
+func WithGate(ctx context.Context, g *Gate) context.Context {
+	return context.WithValue(ctx, gateKey{}, g)
+}
+
+// GateFrom extracts the gate installed by [WithGate] (nil if none).
+func GateFrom(ctx context.Context) *Gate {
+	g, _ := ctx.Value(gateKey{}).(*Gate)
+	return g
+}
+
+// Errors unwraps the joined error returned by [Run] into its parts, keeping
+// only per-job failures (nil or a bare cancellation error yields none).
+func Errors(err error) []*JobError {
+	if err == nil {
+		return nil
+	}
+	var jobErrs []*JobError
+	if je, ok := err.(*JobError); ok {
+		return []*JobError{je}
+	}
+	if m, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range m.Unwrap() {
+			if je, ok := e.(*JobError); ok {
+				jobErrs = append(jobErrs, je)
+			}
+		}
+	}
+	return jobErrs
+}

@@ -1,31 +1,11 @@
 package sweep
 
-import (
-	"fmt"
-	"strings"
-)
+import "strings"
 
 // Axis is one named parameter dimension of a grid.
 type Axis struct {
 	Name   string
 	Values []string
-}
-
-// ParseAxis builds an axis from a comma-separated flag value, e.g.
-// "rob=64,128,256" split by the caller into name and "64,128,256".
-func ParseAxis(name, csv string) (Axis, error) {
-	a := Axis{Name: name}
-	for _, v := range strings.Split(csv, ",") {
-		v = strings.TrimSpace(v)
-		if v == "" {
-			continue
-		}
-		a.Values = append(a.Values, v)
-	}
-	if len(a.Values) == 0 {
-		return a, fmt.Errorf("sweep: axis %q has no values", name)
-	}
-	return a, nil
 }
 
 // Point is one cell of an expanded grid: an axis-name → value assignment.

@@ -19,6 +19,11 @@ type Options struct {
 	// FailFast stops dispatching new jobs after the first job error;
 	// already-running jobs finish.  [First] sets this.
 	FailFast bool
+	// Gate, if non-nil, bounds how many jobs execute concurrently across
+	// every Run call sharing it (a server-wide worker budget).  When unset,
+	// the gate installed on the context by [WithGate] is used, so the budget
+	// reaches drivers that only thread a context.
+	Gate *Gate
 }
 
 // JobError wraps a job failure with the index of the input that caused it.
@@ -50,12 +55,18 @@ func Run[I, R any](ctx context.Context, items []I, fn func(context.Context, I) (
 		workers = len(items)
 	}
 
+	gate := opt.Gate
+	if gate == nil {
+		gate = GateFrom(ctx)
+	}
+
 	jobs := make(chan int)
 	stop := make(chan struct{}) // closed on the first error under FailFast
 	var (
 		mu       sync.Mutex
 		done     int
 		jobErrs  []*JobError
+		gateErr  error // cancellation observed while waiting on the gate
 		stopOnce sync.Once
 		wg       sync.WaitGroup
 		total    = len(items)
@@ -67,7 +78,25 @@ func Run[I, R any](ctx context.Context, items []I, fn func(context.Context, I) (
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				r, err := fn(ctx, items[i])
+				if gate != nil {
+					// A cancelled wait leaves the slot zero with no JobError,
+					// like a job the dispatcher never handed out — but the
+					// cancellation must still reach the caller: the dispatch
+					// loop may have finished before ctx was cancelled, and a
+					// silently skipped job must not look like a completed one.
+					if err := gate.Acquire(ctx); err != nil {
+						mu.Lock()
+						if gateErr == nil {
+							gateErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+				}
+				r, err := runJob(ctx, items[i], fn)
+				if gate != nil {
+					gate.Release()
+				}
 				mu.Lock()
 				if err != nil {
 					// The slot keeps its zero value: an errored job never
@@ -114,6 +143,9 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 
+	if ctxErr == nil {
+		ctxErr = gateErr
+	}
 	sort.Slice(jobErrs, func(a, b int) bool { return jobErrs[a].Index < jobErrs[b].Index })
 	errs := make([]error, 0, len(jobErrs)+1)
 	if ctxErr != nil {
@@ -123,6 +155,19 @@ dispatch:
 		errs = append(errs, je)
 	}
 	return results, errors.Join(errs...)
+}
+
+// runJob executes one job, converting a panic into a job error.  Workers
+// run on their own goroutines, where an unrecovered panic would kill the
+// whole process — unacceptable for a long-running server whose job inputs
+// arrive over the network.
+func runJob[I, R any](ctx context.Context, item I, fn func(context.Context, I) (R, error)) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("sweep: job panicked: %v", p)
+		}
+	}()
+	return fn(ctx, item)
 }
 
 // First is a convenience wrapper over [Run] for drivers that want the

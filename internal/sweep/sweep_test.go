@@ -226,16 +226,22 @@ func TestExpandDegenerate(t *testing.T) {
 	}
 }
 
-func TestParseAxis(t *testing.T) {
-	a, err := ParseAxis("rob", " 64, 128 ,256 ")
-	if err != nil {
-		t.Fatal(err)
+// TestRunJobPanicIsError pins the server-safety contract: a panicking job
+// becomes a JobError on that input instead of killing the worker goroutine
+// (and with it the whole process).
+func TestRunJobPanicIsError(t *testing.T) {
+	got, err := Run(context.Background(), []int{0, 1, 2}, func(_ context.Context, v int) (int, error) {
+		if v == 1 {
+			panic("boom")
+		}
+		return v * 10, nil
+	}, Options{Workers: 2})
+	jobErrs := Errors(err)
+	if len(jobErrs) != 1 || jobErrs[0].Index != 1 {
+		t.Fatalf("Errors = %v, want one error at index 1", jobErrs)
 	}
-	if want := []string{"64", "128", "256"}; !reflect.DeepEqual(a.Values, want) {
-		t.Errorf("values = %v, want %v", a.Values, want)
-	}
-	if _, err := ParseAxis("rob", " , "); err == nil {
-		t.Error("want error for empty axis")
+	if got[0] != 0 || got[2] != 20 {
+		t.Fatalf("surviving results = %v", got)
 	}
 }
 

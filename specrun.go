@@ -20,6 +20,7 @@ import (
 	"specrun/internal/attack"
 	"specrun/internal/core"
 	"specrun/internal/runahead"
+	"specrun/internal/server"
 )
 
 // Config is the machine configuration (Table 1 defaults).
@@ -89,3 +90,29 @@ var (
 
 // DefaultAttackParams returns the Fig. 8/9 attack parameters.
 func DefaultAttackParams() AttackParams { return attack.DefaultParams() }
+
+// Server is the simulation-as-a-service HTTP API behind `specrun serve`:
+// one POST /v1/run/{driver} endpoint per paper artifact, sweeps, async
+// jobs, and a content-addressed result cache with singleflight.  Mount
+// NewServer(...).Handler() on any http.Server to embed it.
+type Server = server.Server
+
+// ServerOptions configures NewServer (worker budget, cache bound).
+type ServerOptions = server.Options
+
+// SweepSpec is the grid specification shared by `specrun sweep` and the
+// POST /v1/sweep endpoint.
+type SweepSpec = server.SweepSpec
+
+// NewServer builds the simulation service.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// Serving helpers: the canonical hash behind the result cache, the
+// canonical JSON encoder shared by the API and the CLI, and the build
+// version reported by `specrun version` and GET /v1/stats.
+var (
+	NormalizeConfig = core.Normalize
+	HashKey         = core.HashKey
+	EncodeJSON      = server.Encode
+	Version         = server.Version
+)
