@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"specrun/internal/attack"
+	"specrun/internal/core"
+	"specrun/internal/server"
+)
+
+// BenchReport is the stable JSON document `specrun bench --json` emits: the
+// Fig. 7/9/10/11 benchmark metrics of the paper, each in exactly the shape
+// the corresponding POST /v1/run/{driver} endpoint returns.  CI uploads it
+// as an artifact on every run, seeding the perf trajectory.
+type BenchReport struct {
+	Version string `json:"version"`
+	IPC     any    `json:"ipc"`   // Fig. 7 rows + mean speedup
+	Fig9    any    `json:"fig9"`  // PHT PoC probe sweep
+	Fig10   any    `json:"fig10"` // N1/N2/N3 transient windows
+	Fig11   any    `json:"fig11"` // beyond-the-ROB leak, both machines
+}
+
+// runBench implements `specrun bench`: run the four benchmark drivers on the
+// Table 1 machine and emit their metrics as one document.
+//
+//	specrun bench --json --out bench.json
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the canonical JSON document (default: human summary)")
+	out := fs.String("out", "", "output file (default stdout)")
+	workers := fs.Int("workers", 0, "worker goroutines for the multi-run drivers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	cfg := core.DefaultConfig()
+	params := attack.DefaultParams()
+	rep := BenchReport{Version: server.Version()}
+	for _, d := range []struct {
+		name string
+		dst  *any
+	}{
+		{"ipc", &rep.IPC},
+		{"fig9", &rep.Fig9},
+		{"fig10", &rep.Fig10},
+		{"fig11", &rep.Fig11},
+	} {
+		res, err := server.Run(ctx, d.name, cfg, params, *workers)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", d.name, err)
+		}
+		*d.dst = res
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *jsonOut {
+		b, err := server.Encode(rep)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	}
+
+	ipc := rep.IPC.(server.IPCResponse)
+	fmt.Fprintf(w, "Fig. 7: mean runahead speedup %.2f%% over %d kernels\n",
+		(ipc.MeanSpeedup-1)*100, len(ipc.Rows))
+	fig9 := rep.Fig9.(core.AttackResult)
+	fmt.Fprintf(w, "Fig. 9: leaked=%v best_idx=%d contrast=%d/%d episodes=%d\n",
+		fig9.Leaked, fig9.BestIdx, fig9.Median, fig9.BestLat, fig9.Stats.RunaheadEpisodes)
+	fig10 := rep.Fig10.(server.Fig10Response)
+	fmt.Fprintf(w, "Fig. 10: N1=%d N2=%d N3=%d\n", fig10.N1.N, fig10.N2.N, fig10.N3.N)
+	fig11 := rep.Fig11.(core.Fig11Result)
+	fmt.Fprintf(w, "Fig. 11: runahead leaked=%v, no-runahead leaked=%v\n",
+		fig11.Runahead.Leaked, fig11.NoRunahead.Leaked)
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"specrun/internal/difftest"
+	"specrun/internal/server"
+	"specrun/internal/sweep"
+)
+
+// runFuzz implements `specrun fuzz`: a differential fuzzing campaign that
+// runs random proggen programs in lockstep on the reference interpreter and
+// the out-of-order pipeline across the runahead × secure × ROB matrix,
+// checking that speculation stays architecturally invisible.  Divergent
+// seeds are minimized into reproducers fit for a regression table.
+//
+//	specrun fuzz --seeds 2000 --matrix              full config matrix
+//	specrun fuzz --duration 30s --json              time-boxed, JSON report
+func runFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 1000, "seeds per campaign round")
+	base := fs.Int64("seed-base", 1, "first seed")
+	matrix := fs.Bool("matrix", false, "full runahead×secure×ROB matrix (default: quick 8-config set)")
+	bodyLen := fs.Int("len", 0, "generated program body length (0 = generator default)")
+	duration := fs.Duration("duration", 0, "keep fuzzing fresh seed rounds until this wall-clock budget is spent")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	noShrink := fs.Bool("no-shrink", false, "report divergences without minimizing them")
+	jsonOut := fs.Bool("json", false, "emit the campaign report as canonical JSON (matches POST /v1/run/fuzz)")
+	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := difftest.CampaignSpec{
+		Seeds:    *seeds,
+		SeedBase: *base,
+		Len:      *bodyLen,
+		NoShrink: *noShrink,
+	}
+	if *matrix {
+		spec.Matrix = "full"
+	}
+	// Resolve defaults up front: duration mode advances SeedBase by
+	// spec.Seeds each round, which must be the effective count, not an
+	// unset zero (or every round would re-fuzz the same seed range).
+	spec = spec.WithDefaults()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := sweep.Options{Workers: *workers}
+	if !*quiet {
+		opt.OnProgress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rfuzz: %d/%d seeds", done, total)
+		}
+	}
+
+	// Duration mode runs successive rounds over fresh seed ranges; a single
+	// round otherwise.  The merged report keeps per-round determinism: the
+	// same seed range always produces the same rows.  A cancelled campaign
+	// (Ctrl-C) still yields its partial report — divergences already found
+	// must reach the user, not die with the interrupt.
+	start := time.Now()
+	report, runErr := difftest.Run(ctx, spec, opt)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	for runErr == nil && *duration > 0 && time.Since(start) < *duration && ctx.Err() == nil {
+		spec.SeedBase += int64(spec.Seeds)
+		var next difftest.Report
+		next, runErr = difftest.Run(ctx, spec, opt)
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		report = report.Merge(next)
+	}
+
+	if report.Configs == 0 {
+		return runErr // the campaign never started (validation failure)
+	}
+	if *jsonOut {
+		b, err := server.Encode(report)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+	} else {
+		printFuzzReport(report)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if !report.Clean {
+		return fmt.Errorf("fuzz: %d divergences across %d runs", len(report.Divergences), report.Runs)
+	}
+	return nil
+}
+
+func printFuzzReport(r difftest.Report) {
+	fmt.Printf("differential fuzz: %d seeds × %d configs = %d runs (%s matrix)\n",
+		r.Spec.Seeds, r.Configs, r.Runs, r.Spec.Matrix)
+	fmt.Printf("%-24s %8s %10s %12s %14s %6s\n", "config", "runs", "divergent", "episodes", "committed", "")
+	for _, s := range r.PerConfig {
+		status := "ok"
+		if s.Divergences > 0 {
+			status = "FAIL"
+		}
+		fmt.Printf("%-24s %8d %10d %12d %14d %6s\n",
+			s.Config, s.Runs, s.Divergences, s.Episodes, s.Committed, status)
+	}
+	if r.Clean {
+		fmt.Println("clean: every configuration matched the in-order reference on every seed")
+		return
+	}
+	fmt.Printf("\n%d divergences:\n", len(r.Divergences))
+	for _, d := range r.Divergences {
+		fmt.Printf("  seed %d / %s: %s: %s\n", d.Seed, d.Config, d.Kind, d.Detail)
+		if d.Minimized != nil {
+			fmt.Printf("    minimized reproducer: seed=%d len=%d options=%+v\n",
+				d.Minimized.Seed, d.Minimized.Options.Len, d.Minimized.Options)
+		}
+	}
+}

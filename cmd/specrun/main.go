@@ -14,6 +14,11 @@
 //	specrun leak [flags]       extract a multi-byte secret
 //	specrun sweep [flags]      user-defined parameter grid on the parallel
 //	                           sweep engine (JSON/CSV output)
+//	specrun fuzz [flags]       differential fuzzing campaign: random programs
+//	                           in lockstep on the reference interpreter and
+//	                           the OoO pipeline across the config matrix
+//	specrun bench [flags]      Fig. 7/9/10/11 benchmark metrics as one stable
+//	                           JSON document (the CI perf artifact)
 //	specrun serve [flags]      simulation-as-a-service HTTP API with a
 //	                           content-addressed result cache
 //	specrun version            module version / VCS revision
@@ -64,6 +69,10 @@ func main() {
 		err = runLeak(args)
 	case "sweep":
 		err = runSweep(args)
+	case "fuzz":
+		err = runFuzz(args)
+	case "bench":
+		err = runBench(args)
 	case "serve":
 		err = runServe(args)
 	case "version":
@@ -90,7 +99,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: specrun <config|ipc|fig9|window|fig11|defense|variants|attack|leak|sweep|serve|version|trace|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: specrun <config|ipc|fig9|window|fig11|defense|variants|attack|leak|sweep|fuzz|bench|serve|version|trace|all> [flags]`)
 }
 
 // figureFormat parses the --format flag shared by the figure subcommands.

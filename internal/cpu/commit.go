@@ -155,6 +155,16 @@ func (c *CPU) retire(u *uop, now uint64) {
 	if op.Kind() == isa.KindLoad && u.addrValid {
 		c.strides.Observe(u.pc, u.addr)
 	}
+
+	if c.commitFn != nil {
+		// Read the destination back from the committed state (not u.result)
+		// so hardwired-zero semantics match the reference interpreter.
+		v, v2, _, _ := c.arch.read(u.dest)
+		c.commitFn(CommitRecord{
+			Seq: c.stats.Committed - 1, PC: u.pc, Op: op,
+			Dest: u.dest, Val: v, Val2: v2,
+		})
+	}
 }
 
 // pseudoRetire retires one uop into the runahead scratch state (runahead

@@ -253,9 +253,11 @@ type CPU struct {
 	// debugRA, when set, receives a line per runahead entry/exit (tests).
 	debugRA func(format string, args ...any)
 
-	// Pipeline tracing (SetTracer).
+	// Pipeline tracing (SetTracer) and commit-stream observation
+	// (SetCommitHook).
 	traceEvery uint64
 	traceFn    func(TraceSample)
+	commitFn   func(CommitRecord)
 }
 
 // New builds a CPU running prog.  The program's data segments are loaded

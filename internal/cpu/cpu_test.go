@@ -425,6 +425,53 @@ func TestDifferentialAgainstISS(t *testing.T) {
 	}
 }
 
+// TestVectorStoreForwardsBothLanes is the minimized form of the bug the
+// first `specrun fuzz` campaign flushed out (seeds 128/160/861/954, all one
+// root cause): store-to-load forwarding from a 16-byte vector store shifted
+// only storeVal, so a scalar load covered by the store's second lane
+// forwarded 0, and a load crossing the lane boundary got zero high bytes.
+func TestVectorStoreForwardsBothLanes(t *testing.T) {
+	c := runCPU(t, DefaultConfig(), `
+		.data 0x100000
+		buf: .zero 64
+		start:
+		movi r1, buf
+		movi r2, 0x0807060504030201
+		movi r3, 0x100f0e0d0c0b0a09
+		st   [r1 + 0], r2
+		st   [r1 + 8], r3
+		vld  v1, [r1 + 0]
+		vst  [r1 + 16], v1
+		ldb  r4, [r1 + 31]   ; top byte of the store's second lane
+		ld   r5, [r1 + 20]   ; crosses the lane boundary
+		ldb  r6, [r1 + 24]   ; second lane, low byte
+		ld   r7, [r1 + 24]   ; exactly the second lane
+		halt`)
+	if got := c.IntReg(4); got != 0x10 {
+		t.Fatalf("r4 = %#x, want 0x10 (second-lane byte forwarded as zero?)", got)
+	}
+	if got := c.IntReg(5); got != 0x0c0b0a0908070605 {
+		t.Fatalf("r5 = %#x, want 0x0c0b0a0908070605 (lane-crossing forward)", got)
+	}
+	if got := c.IntReg(6); got != 0x09 {
+		t.Fatalf("r6 = %#x, want 0x09", got)
+	}
+	if got := c.IntReg(7); got != 0x100f0e0d0c0b0a09 {
+		t.Fatalf("r7 = %#x, want the full second lane", got)
+	}
+}
+
+// TestFuzzCampaignRegressions replays the divergent seeds the first
+// CI-scale differential-fuzz campaign reported (every one shrank to the
+// 16-byte-store forwarding defect above) against both the baseline and the
+// runahead machine, so the exact generated programs stay covered forever.
+func TestFuzzCampaignRegressions(t *testing.T) {
+	for _, seed := range []int64{128, 160, 861, 954} {
+		differential(t, seed, noRunaheadConfig(), "fuzz-regression-base")
+		differential(t, seed, DefaultConfig(), "fuzz-regression-ra")
+	}
+}
+
 func TestStatsSanity(t *testing.T) {
 	c := runCPU(t, DefaultConfig(), `
 		movi r1, 10

@@ -321,8 +321,20 @@ func (c *CPU) execLoad(u *uop, now uint64) bool {
 		return false
 	}
 	if fwd != nil {
+		// A 16-byte store holds lane 0 in storeVal and lane 1 in storeVal2;
+		// assemble the covered window across the lane boundary.  (Shifting
+		// storeVal alone forwarded 0 for offsets >= 8 — found by the
+		// differential fuzzer, seed 160 of the first campaign.)
 		off := u.addr - fwd.addr
-		v := fwd.storeVal >> (8 * off)
+		var v uint64
+		switch lo, hi := fwd.storeVal, fwd.storeVal2; {
+		case off >= 8:
+			v = hi >> (8 * (off - 8))
+		case off == 0:
+			v = lo
+		default:
+			v = lo>>(8*off) | hi<<(8*(8-off))
+		}
 		if size < 8 {
 			v &= (1 << (8 * size)) - 1
 		}

@@ -3,7 +3,29 @@ package cpu
 import (
 	"fmt"
 	"io"
+
+	"specrun/internal/isa"
 )
+
+// CommitRecord describes one architecturally committed instruction.  Only
+// normal-mode retirement emits records: pseudo-retired (runahead) and
+// squashed (wrong-path) work never appears, so the record stream *is* the
+// architectural execution and must match the in-order reference interpreter
+// instruction for instruction — the golden-model contract the differential
+// fuzzer (specrun/internal/difftest) enforces.
+type CommitRecord struct {
+	Seq  uint64     // commit order, 0-based
+	PC   uint64     // address of the committed instruction
+	Op   isa.Opcode // opcode
+	Dest isa.Reg    // architectural destination (NoReg for stores, branches, ...)
+	Val  uint64     // committed value of Dest (lane 0); 0 when Dest is NoReg
+	Val2 uint64     // lane 1 for vector destinations
+}
+
+// SetCommitHook installs fn to receive one CommitRecord per committed
+// instruction, in commit order (nil removes the hook).  The callback runs
+// synchronously inside the commit stage; keep it cheap.
+func (c *CPU) SetCommitHook(fn func(CommitRecord)) { c.commitFn = fn }
 
 // TraceSample is one snapshot of pipeline occupancy, emitted by the tracer
 // at a fixed cycle interval.  It is the raw material for utilisation plots

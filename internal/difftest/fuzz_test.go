@@ -1,0 +1,36 @@
+package difftest
+
+import (
+	"testing"
+
+	"specrun/internal/proggen"
+)
+
+// FuzzDiff is the native `go test -fuzz` entry: the fuzzer drives the seed
+// and the generator feature mask, and every mutation must stay
+// architecturally identical to the reference interpreter across the quick
+// configuration matrix.  CI runs it with a cached corpus
+// (-fuzz=FuzzDiff -fuzztime=20s); any input that trips the oracle is saved
+// under testdata/fuzz and replays as a plain test forever after.
+func FuzzDiff(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed, uint8(0xff))
+	}
+	f.Add(int64(9999), uint8(0x20)) // gadgets only
+	f.Add(int64(424242), uint8(0))  // straight-line ALU/mem
+	cfgs := Matrix(false)
+	f.Fuzz(func(t *testing.T, seed int64, feat uint8) {
+		opt := proggen.DefaultOptions()
+		opt.Len = 40 // keep individual executions fast; campaigns cover long bodies
+		opt.Loops = feat&1 != 0
+		opt.Calls = feat&2 != 0
+		opt.Flushes = feat&4 != 0
+		opt.Vector = feat&8 != 0
+		opt.FloatOps = feat&16 != 0
+		opt.Gadgets = feat&32 != 0
+		res := CheckSeed(seed, opt, cfgs)
+		for _, d := range res.Divergences {
+			t.Errorf("seed %d / %s: %s: %s", d.Seed, d.Config, d.Kind, d.Detail)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package difftest
+
+import (
+	"fmt"
+
+	"specrun/internal/cpu"
+	"specrun/internal/mem"
+	"specrun/internal/runahead"
+)
+
+// NamedConfig is one point of the differential configuration matrix.
+type NamedConfig struct {
+	Name   string
+	Config cpu.Config
+}
+
+// Matrix returns the configuration set a campaign checks every seed
+// against.  The quick set (full=false) covers each runahead variant once,
+// the §6 defenses, a small reorder buffer and a deliberately starved "tiny"
+// machine with undersized caches (maximum eviction/write-back pressure and
+// runahead entry on L2 misses).  The full set is the cross product
+// runahead kind × secure × ROB size that the acceptance matrix demands.
+func Matrix(full bool) []NamedConfig {
+	kinds := []runahead.Kind{runahead.KindNone, runahead.KindOriginal, runahead.KindPrecise, runahead.KindVector}
+	if !full {
+		out := make([]NamedConfig, 0, 8)
+		for _, k := range kinds {
+			out = append(out, point(k, false, 256))
+		}
+		out = append(out,
+			point(runahead.KindOriginal, true, 256),
+			skipINVPoint(256),
+			point(runahead.KindOriginal, false, 48),
+			tinyPoint(),
+		)
+		return out
+	}
+	out := make([]NamedConfig, 0, 19)
+	for _, k := range kinds {
+		for _, rob := range []int{48, 256} {
+			out = append(out, point(k, false, rob), point(k, true, rob))
+		}
+	}
+	out = append(out, skipINVPoint(48), skipINVPoint(256), tinyPoint())
+	return out
+}
+
+func point(kind runahead.Kind, secure bool, rob int) NamedConfig {
+	cfg := cpu.DefaultConfig()
+	cfg.Runahead.Kind = kind
+	cfg.Secure.Enabled = secure
+	cfg.ROBSize = rob
+	name := fmt.Sprintf("%s-rob%d", kind, rob)
+	if secure {
+		name += "-secure"
+	}
+	return NamedConfig{Name: name, Config: cfg}
+}
+
+func skipINVPoint(rob int) NamedConfig {
+	nc := point(runahead.KindOriginal, false, rob)
+	nc.Config.Runahead.SkipINVBranch = true
+	nc.Name = fmt.Sprintf("skipinv-rob%d", rob)
+	return nc
+}
+
+// tinyPoint is a starved machine: a 32-entry window, minimal queues and
+// register files, and caches small enough that generated programs thrash
+// them — the configuration that exercises eviction, write-back and MSHR
+// corner cases the Table 1 machine rarely reaches.
+func tinyPoint() NamedConfig {
+	cfg := cpu.DefaultConfig()
+	cfg.ROBSize = 32
+	cfg.IQSize = 8
+	cfg.LQSize = 6
+	cfg.SQSize = 6
+	cfg.IntPRF = 48
+	cfg.FPPRF = 24
+	cfg.VecPRF = 24
+	cfg.FrontQ = 4
+	cfg.Mem.L1I = mem.CacheConfig{Name: "L1I", Size: 4 << 10, Assoc: 2, Latency: 2}
+	cfg.Mem.L1D = mem.CacheConfig{Name: "L1D", Size: 4 << 10, Assoc: 2, Latency: 2}
+	cfg.Mem.L2 = mem.CacheConfig{Name: "L2", Size: 16 << 10, Assoc: 4, Latency: 8}
+	cfg.Mem.L3 = mem.CacheConfig{Name: "L3", Size: 64 << 10, Assoc: 8, Latency: 32}
+	cfg.Runahead.Kind = runahead.KindOriginal
+	cfg.Runahead.TriggerLevel = mem.LevelL2
+	return NamedConfig{Name: "tiny", Config: cfg}
+}

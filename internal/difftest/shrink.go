@@ -1,0 +1,76 @@
+package difftest
+
+import (
+	"context"
+
+	"specrun/internal/proggen"
+)
+
+// Shrink minimizes the generator options for a seed that diverges under nc:
+// it disables one generator feature at a time (keeping any reduction that
+// still diverges), bisects the body length down to the smallest failing
+// prefix, and finally tries shrinking the scratch buffer.  The returned
+// options, with the same seed and config, still reproduce a divergence —
+// ready to check in as a regression test.  Shrinking is best-effort: if ctx
+// is cancelled the current best reduction is returned.
+func Shrink(ctx context.Context, seed int64, opt proggen.Options, nc NamedConfig) proggen.Options {
+	return shrinkWith(ctx, opt, func(o proggen.Options) bool {
+		return len(CheckSeed(seed, o, []NamedConfig{nc}).Divergences) > 0
+	})
+}
+
+// shrinkWith is the generic reduction loop over an arbitrary failure
+// predicate (split out so the reduction strategy itself is testable without
+// a real divergence).
+func shrinkWith(ctx context.Context, opt proggen.Options, fails func(proggen.Options) bool) proggen.Options {
+	// Feature ablation, most structural first.  Each trial regenerates the
+	// whole program (the RNG stream shifts), so a reduction is kept only
+	// when the smaller feature set still diverges.
+	features := []func(*proggen.Options){
+		func(o *proggen.Options) { o.Gadgets = false },
+		func(o *proggen.Options) { o.Vector = false },
+		func(o *proggen.Options) { o.FloatOps = false },
+		func(o *proggen.Options) { o.Calls = false },
+		func(o *proggen.Options) { o.Flushes = false },
+		func(o *proggen.Options) { o.Loops = false },
+	}
+	for _, disable := range features {
+		if ctx.Err() != nil {
+			return opt
+		}
+		trial := opt
+		disable(&trial)
+		if trial != opt && fails(trial) {
+			opt = trial
+		}
+	}
+
+	// Bisect the body length: invariant — opt.Len fails.
+	lo, hi := 1, opt.Len
+	for lo < hi {
+		if ctx.Err() != nil {
+			return opt
+		}
+		mid := lo + (hi-lo)/2
+		trial := opt
+		trial.Len = mid
+		if fails(trial) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	opt.Len = hi
+
+	// A smaller scratch buffer makes the reproducer's memory compare (and
+	// cache behaviour) easier to reason about.
+	if ctx.Err() == nil && opt.BufBytes > 512 {
+		trial := opt
+		trial.BufBytes = 512
+		trial.StackBytes = 256
+		if fails(trial) {
+			opt = trial
+		}
+	}
+	return opt
+}

@@ -144,6 +144,26 @@ func (it *Interp) Step() (bool, error) {
 	return true, nil
 }
 
+// RegValue reads the current value of reg in any class (both lanes for a
+// vector register, zero for NoReg and the hardwired zero register).  The
+// differential tests use it to read an instruction's destination back after
+// Step and compare it against the OoO core's commit record.
+func (it *Interp) RegValue(r isa.Reg) (v, v2 uint64) {
+	switch r.Class() {
+	case isa.ClassInt:
+		if r.IsZero() {
+			return 0, 0
+		}
+		return it.IntReg[r.Idx()], 0
+	case isa.ClassFP:
+		return it.FPReg[r.Idx()], 0
+	case isa.ClassVec:
+		vec := it.VecReg[r.Idx()]
+		return vec[0], vec[1]
+	}
+	return 0, 0
+}
+
 func (it *Interp) indexVal(in isa.Inst) uint64 {
 	if in.UsesIndex() {
 		return it.readReg(in.Rs2)

@@ -117,34 +117,39 @@ func (c *Cache) ProbeReady(lineAddr uint64) (present bool, fillDone uint64) {
 // victim was dirty (for write-back traffic accounting).
 func (c *Cache) Insert(lineAddr, fillDone uint64, dirty bool) (evicted uint64, evictedDirty, hadVictim bool) {
 	s := c.set(lineAddr)
-	victim := -1
 	for i := range s {
 		if s[i].valid && s[i].addr == lineAddr {
-			// Refill of a present line (e.g. write after read miss merge).
-			victim = i
-			hadVictim = false
-			goto install
+			// Refill of a resident line (e.g. write install racing a read
+			// miss merge): merge into the existing entry instead of
+			// reinstalling.  The resident entry is the primary fill, so its
+			// ready time is authoritative — a merged secondary miss can
+			// never observe data before the primary fill completes — and
+			// the line was filled once, so Fills must not count again.
+			c.lruClock++
+			s[i].lru = c.lruClock
+			s[i].dirty = s[i].dirty || dirty
+			return 0, false, false
 		}
 	}
+	victim := -1
 	for i := range s {
 		if !s[i].valid {
 			victim = i
-			goto install
+			break
 		}
 	}
-	victim = 0
-	for i := 1; i < len(s); i++ {
-		if s[i].lru < s[victim].lru {
-			victim = i
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(s); i++ {
+			if s[i].lru < s[victim].lru {
+				victim = i
+			}
 		}
+		evicted, evictedDirty, hadVictim = s[victim].addr, s[victim].dirty, true
+		c.Stats.Evictions++
 	}
-	evicted, evictedDirty, hadVictim = s[victim].addr, s[victim].dirty, true
-	c.Stats.Evictions++
-
-install:
 	c.lruClock++
-	prevDirty := s[victim].valid && s[victim].addr == lineAddr && s[victim].dirty
-	s[victim] = line{addr: lineAddr, valid: true, dirty: dirty || prevDirty, lru: c.lruClock, fillDone: fillDone}
+	s[victim] = line{addr: lineAddr, valid: true, dirty: dirty, lru: c.lruClock, fillDone: fillDone}
 	c.Stats.Fills++
 	return evicted, evictedDirty, hadVictim
 }

@@ -185,18 +185,25 @@ func (h *Hierarchy) memRequest(earliest uint64) uint64 {
 	return done
 }
 
-func (h *Hierarchy) writeback() {
+// writeback models the channel occupancy of a dirty eviction: the write-back
+// reserves the memory channel at or after the cycle the eviction happens
+// (the incoming line's fill completion), exactly like memRequest reserves it
+// for reads.  Reserving from the stale busFree instead would schedule the
+// traffic in the past whenever the channel has been idle, and dirty-eviction
+// storms would never contend with the demand misses that caused them.
+func (h *Hierarchy) writeback(now uint64) {
 	h.Stats.Writebacks++
-	if h.busFree < uint64(h.cfg.MemBusCycles) {
-		h.busFree = 0
+	start := now
+	if h.busFree > start {
+		start = h.busFree
 	}
-	h.busFree += uint64(h.cfg.MemBusCycles)
+	h.busFree = start + uint64(h.cfg.MemBusCycles)
 }
 
 func (h *Hierarchy) install(c *Cache, lineAddr, fillDone uint64, dirty bool) {
 	_, evictedDirty, had := c.Insert(lineAddr, fillDone, dirty)
 	if had && evictedDirty {
-		h.writeback()
+		h.writeback(fillDone)
 	}
 }
 

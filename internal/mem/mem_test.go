@@ -178,6 +178,78 @@ func TestHierarchyContention(t *testing.T) {
 	}
 }
 
+// Regression: Insert on a line that is already resident must merge into the
+// existing entry — never move the ready time backward (the MSHR invariant: a
+// merged secondary miss cannot observe data before the primary fill
+// completes) and never count a second fill for a line filled once.
+func TestCacheInsertMergeKeepsPrimaryFill(t *testing.T) {
+	c := testCache(t)
+	c.Insert(0x1000, 100, false)
+	if c.Stats.Fills != 1 {
+		t.Fatalf("fills = %d after primary insert, want 1", c.Stats.Fills)
+	}
+	// A secondary install tries to clobber the in-flight fill with an
+	// earlier completion cycle (the old code took it verbatim).
+	c.Insert(0x1000, 40, false)
+	if hit, ready := c.Lookup(0x1000, 60); !hit || ready != 100 {
+		t.Fatalf("lookup at 60: hit=%v ready=%d, want data at the primary fill cycle 100", hit, ready)
+	}
+	if c.Stats.Fills != 1 {
+		t.Fatalf("fills = %d after refill of a resident line, want 1 (no double count)", c.Stats.Fills)
+	}
+	// The merge must still accumulate dirtiness and refresh LRU.
+	c.Insert(0x1000, 500, true)
+	if _, fill := c.ProbeReady(0x1000); fill != 100 {
+		t.Fatalf("fillDone = %d after dirty merge, want 100 (resident fill is authoritative)", fill)
+	}
+	if ev, evDirty, had := c.Insert(0x1000, 700, false); had || evDirty || ev != 0 {
+		t.Fatalf("merge reported a victim: evicted=%#x dirty=%v had=%v", ev, evDirty, had)
+	}
+}
+
+// Regression for the write-back channel model: a dirty eviction reserves the
+// memory channel at (or after) the cycle the eviction happens, so the next
+// demand miss contends with it.  The old clamp (`if busFree < MemBusCycles {
+// busFree = 0 }`) scheduled the write-back in the past whenever the channel
+// had gone idle, and the following miss sailed through uncontended.
+func TestHierarchyWritebackReservesChannelAtEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	// L1D: 16KB 4-way, 64B lines -> 64 sets, same-set stride 4096.
+	const base = uint64(0x100000)
+	const setStride = 4096
+	bus := uint64(cfg.MemBusCycles) // 4
+	lat := uint64(cfg.MemLatency)   // 200
+	look := uint64(2 + 8 + 32)      // L1+L2+L3 lookup latency on a full miss
+	// Dirty line A at cycle 0.
+	h.Access(PortD, base, 0, true)
+	// Three clean conflicting lines fill A's L1D set (assoc 4).
+	for i := uint64(1); i <= 3; i++ {
+		h.Access(PortD, base+i*setStride, 1000*i, false)
+	}
+	// Long quiet period, then a fourth conflicting miss evicts dirty A.
+	// Its fill completes at T+look+lat; the write-back must occupy the
+	// channel from that cycle, not from the long-stale busFree.
+	const T = uint64(10000)
+	r := h.Access(PortD, base+4*setStride, T, false)
+	evict := T + look + lat
+	if r.Done != evict {
+		t.Fatalf("evicting miss done = %d, want %d", r.Done, evict)
+	}
+	if h.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", h.Stats.Writebacks)
+	}
+	// An unrelated miss whose request would start before the write-back
+	// drains must queue behind it: start = evict+bus, done = start+lat.
+	now := evict - look - 100 // lookup completes 100 cycles before the eviction
+	r2 := h.Access(PortD, base+(1<<20), now, false)
+	want := evict + bus + lat
+	if r2.Done != want {
+		t.Fatalf("post-writeback miss done = %d, want %d (channel reserved %d..%d by the eviction)",
+			r2.Done, want, evict, evict+bus)
+	}
+}
+
 func TestHierarchyOutstandingWindow(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MemMaxOutstanding = 2

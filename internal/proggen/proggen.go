@@ -16,16 +16,18 @@ import (
 	"specrun/internal/isa"
 )
 
-// Options bounds program shape.
+// Options bounds program shape.  The JSON tags give fuzz-campaign reports
+// and minimized reproducers a stable wire form.
 type Options struct {
-	Len        int  // approximate instruction count of the main body
-	Loops      bool // allow bounded countdown loops
-	Calls      bool // allow call/ret pairs
-	Flushes    bool // allow clflush (triggers runahead on the OoO core)
-	Vector     bool // allow 128-bit vector ops
-	FloatOps   bool // allow FP arithmetic
-	BufBytes   int  // scratch buffer size (power of two)
-	StackBytes int
+	Len        int  `json:"len"`       // approximate instruction count of the main body
+	Loops      bool `json:"loops"`     // allow bounded countdown loops
+	Calls      bool `json:"calls"`     // allow call/ret pairs
+	Flushes    bool `json:"flushes"`   // allow clflush (triggers runahead on the OoO core)
+	Vector     bool `json:"vector"`    // allow 128-bit vector ops
+	FloatOps   bool `json:"float_ops"` // allow FP arithmetic
+	Gadgets    bool `json:"gadgets"`   // allow bounds-check/gadget-shaped address patterns
+	BufBytes   int  `json:"buf_bytes"` // scratch buffer size (power of two)
+	StackBytes int  `json:"stack_bytes"`
 }
 
 // DefaultOptions covers the whole ISA.
@@ -37,6 +39,7 @@ func DefaultOptions() Options {
 		Flushes:    true,
 		Vector:     true,
 		FloatOps:   true,
+		Gadgets:    true,
 		BufBytes:   4096,
 		StackBytes: 1024,
 	}
@@ -160,6 +163,8 @@ func (g *gen) block(n, depth int) {
 			g.fpOp()
 		case pick < 18 && g.opt.Vector:
 			g.vecOp()
+		case pick < 19 && g.opt.Gadgets:
+			g.gadget()
 		default:
 			g.alu()
 		}
@@ -232,6 +237,48 @@ func (g *gen) vecOp() {
 		g.b.Vaddq(g.vreg(), g.vreg(), g.vreg())
 	default:
 		g.b.Vxorq(g.vreg(), g.vreg(), g.vreg())
+	}
+}
+
+// gadget emits one of the address patterns every transient-execution attack
+// is built from: a bounds-checked indexed load (the Spectre-PHT victim
+// shape), a dependent-address load pair (a loaded value feeds the next load
+// address — the leak shape, and during runahead an INV value feeding an
+// address), or an indexed store at a data-dependent address (dynamic
+// store-queue disambiguation).  Architectural addresses are masked into the
+// scratch buffer, so the reference interpreter and the OoO core agree on
+// every committed access; only the *speculative* address stream differs.
+func (g *gen) gadget() {
+	byteMask := int64(g.opt.BufBytes - 1)
+	elemMask := int64(g.opt.BufBytes/8 - 1)
+	switch g.rng.Intn(3) {
+	case 0:
+		// Bounds check guarding an indexed word load: blt/bgeu steers past
+		// the access for out-of-bound indices, both outcomes are reachable.
+		skip := g.label("inb")
+		idx, bound := g.reg(), g.reg()
+		g.b.Andi(idx, g.reg(), elemMask)
+		g.b.Movi(bound, 1+int64(g.rng.Intn(g.opt.BufBytes/8)))
+		g.b.Bgeu(idx, bound, skip)
+		g.b.Ldx(g.reg(), isa.R(20), idx, 3, 0)
+		g.b.Label(skip)
+	case 1:
+		// Dependent-address pair: the first load's value becomes the second
+		// load's index.
+		val, idx := g.reg(), g.reg()
+		g.b.Ld(val, isa.R(20), g.bufOff(8))
+		g.b.Andi(idx, val, byteMask)
+		g.b.Ldbx(g.reg(), isa.R(20), idx, 0, 0)
+	default:
+		// Data-dependent store address (byte or word).
+		idx := g.reg()
+		if g.rng.Intn(2) == 0 {
+			g.b.Andi(idx, g.reg(), byteMask)
+			g.b.Stbx(isa.R(20), idx, 0, 0, g.reg())
+		} else {
+			g.b.Andi(idx, g.reg(), elemMask)
+			g.b.Stx(isa.R(20), idx, 3, 0, g.reg())
+		}
 	}
 }
 

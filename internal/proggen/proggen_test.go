@@ -58,12 +58,37 @@ func TestGenerateOptionSubsets(t *testing.T) {
 		{Len: 40, Loops: true, BufBytes: 1024, StackBytes: 256}, // loops only
 		{Len: 40, Calls: true, BufBytes: 1024, StackBytes: 256}, // calls only
 		{Len: 40, Flushes: true, Vector: true, BufBytes: 2048, StackBytes: 256},
+		{Len: 50, Gadgets: true, BufBytes: 1024, StackBytes: 256}, // gadget patterns only
 	}
 	for i, o := range opts {
 		prog := Generate(int64(100+i), o)
 		it := iss.New(prog)
 		if err := it.Run(2_000_000); err != nil {
 			t.Fatalf("opts %d: %v", i, err)
+		}
+	}
+}
+
+// Gadget-shaped address patterns must keep every architectural access inside
+// the scratch buffer and stack: the generated programs never read or write
+// memory outside the regions the differential oracle compares.
+func TestGadgetAccessesStayInBounds(t *testing.T) {
+	opt := Options{Len: 120, Gadgets: true, Loops: true, BufBytes: 1024, StackBytes: 256}
+	for seed := int64(1); seed <= 20; seed++ {
+		prog := Generate(seed, opt)
+		it := iss.New(prog)
+		if err := it.Run(2_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Memory pages only exist for written addresses, so the footprint
+		// bounds the store-address range: buf and stack are contiguous from
+		// Alloc, spanning at most two 4K pages at this size.
+		buf := prog.MustSym("buf")
+		end := prog.MustSym("stack") + uint64(opt.StackBytes)
+		maxPages := int((end-1)/4096-buf/4096) + 1
+		if got := it.Mem.Footprint(); got > maxPages {
+			t.Fatalf("seed %d: %d memory pages touched (max %d) — a store escaped the scratch regions",
+				seed, got, maxPages)
 		}
 	}
 }

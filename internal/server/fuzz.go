@@ -1,0 +1,118 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"specrun/internal/core"
+	"specrun/internal/difftest"
+	"specrun/internal/sweep"
+)
+
+// FuzzRequest is the body of POST /v1/run/fuzz (and the Fuzz arm of
+// POST /v1/jobs): a differential fuzzing campaign specification plus the
+// execution-only worker count.  An empty body runs the default campaign
+// (1000 seeds, quick matrix).
+type FuzzRequest struct {
+	difftest.CampaignSpec
+	Workers int `json:"workers,omitempty"` // worker goroutines (0 = GOMAXPROCS); never part of the cache key
+}
+
+// resolve validates and normalises the campaign, bounding it so a hostile
+// document cannot request unbounded simulation.
+func (r FuzzRequest) resolve() (difftest.CampaignSpec, error) {
+	spec := r.CampaignSpec.WithDefaults()
+	if spec.Seeds < 1 || spec.Seeds > 1<<16 {
+		return spec, fmt.Errorf("fuzz: seeds %d out of range (1..%d)", spec.Seeds, 1<<16)
+	}
+	if spec.Len < 1 || spec.Len > 1<<12 {
+		return spec, fmt.Errorf("fuzz: len %d out of range (1..%d)", spec.Len, 1<<12)
+	}
+	if _, err := spec.Configs(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// handleFuzz serves POST /v1/run/fuzz.  Campaign reports are deterministic
+// functions of their spec, so they cache content-addressed exactly like the
+// figure drivers.
+func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
+	var req FuzzRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := core.HashKey("fuzz", spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "cache key: %v", err)
+		return
+	}
+	body, hit, err := s.cache.Do(r.Context(), key, func() ([]byte, error) {
+		s.simulations.Add(1)
+		rep, runErr := difftest.Run(s.simCtx(), spec, sweep.Options{Workers: req.Workers})
+		if runErr != nil {
+			// A cancelled campaign holds partial rows — transient state that
+			// must not become the permanent entry for this key.
+			return nil, runErr
+		}
+		return Encode(rep)
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "fuzz: %v", err)
+		return
+	}
+	writeBody(w, body, hit)
+}
+
+// runFuzzJob executes a campaign asynchronously with per-seed progress,
+// sharing the result cache with the synchronous endpoint.
+func (s *Server) runFuzzJob(ctx context.Context, id string, req FuzzRequest) {
+	spec, err := req.resolve()
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), false)
+		return
+	}
+	key, err := core.HashKey("fuzz", spec)
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), false)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.jobs.finish(id, body, "", false)
+		return
+	}
+	s.simulations.Add(1)
+	rep, runErr := difftest.Run(sweep.WithGate(ctx, s.gate), spec, sweep.Options{
+		Workers:    req.Workers,
+		OnProgress: func(done, total int) { s.jobs.progress(id, done, total) },
+	})
+	if runErr != nil {
+		cancelled := errors.Is(runErr, context.Canceled)
+		// A cancelled campaign still carries the divergences found so far —
+		// store the partial report on the job (like cancelled sweeps do)
+		// without letting it become the permanent cache entry.
+		if cancelled && rep.Configs > 0 {
+			if body, encErr := Encode(rep); encErr == nil {
+				s.jobs.finish(id, body, "", true)
+				return
+			}
+		}
+		s.jobs.finish(id, nil, runErr.Error(), cancelled)
+		return
+	}
+	body, err := Encode(rep)
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), false)
+		return
+	}
+	s.cache.Add(key, body)
+	s.jobs.finish(id, body, "", false)
+}

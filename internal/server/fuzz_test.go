@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"specrun/internal/difftest"
+	"specrun/internal/sweep"
+)
+
+func TestFuzzEndpointMatchesDriver(t *testing.T) {
+	_, ts := newTestServer(t)
+	spec := difftest.CampaignSpec{Seeds: 3, Matrix: "quick"}
+	body, _ := json.Marshal(FuzzRequest{CampaignSpec: spec})
+	code, hdr, got := do(t, "POST", ts.URL+"/v1/run/fuzz", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("fuzz: %d %s", code, got)
+	}
+	if hdr.Get("X-Cache") != "MISS" {
+		t.Fatalf("first campaign X-Cache = %q, want MISS", hdr.Get("X-Cache"))
+	}
+	rep, err := difftest.Run(context.Background(), spec, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Encode(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("endpoint body differs from direct campaign:\n%s\nvs\n%s", got, want)
+	}
+	// Identical spec: served from the content-addressed cache.
+	code, hdr, got2 := do(t, "POST", ts.URL+"/v1/run/fuzz", string(body))
+	if code != http.StatusOK || hdr.Get("X-Cache") != "HIT" {
+		t.Fatalf("repeat campaign: %d X-Cache=%q", code, hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(got, got2) {
+		t.Fatal("cached body differs from fresh body")
+	}
+	var decoded difftest.Report
+	if err := json.Unmarshal(got, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Clean || decoded.Runs != 3*len(difftest.Matrix(false)) {
+		t.Fatalf("report: clean=%v runs=%d", decoded.Clean, decoded.Runs)
+	}
+}
+
+func TestFuzzEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`{"seeds": -1}`,
+		`{"seeds": 999999999}`,
+		`{"matrix": "bogus"}`,
+		`{"len": 99999}`,
+		`{"unknown_field": 1}`,
+	} {
+		code, _, resp := do(t, "POST", ts.URL+"/v1/run/fuzz", body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("body %s: code %d %s, want 400", body, code, resp)
+		}
+	}
+}
+
+func TestFuzzJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, _, body := do(t, "POST", ts.URL+"/v1/jobs", `{"fuzz": {"seeds": 2}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Kind != "fuzz" {
+		t.Fatalf("kind = %q, want fuzz", view.Kind)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, _, body = do(t, "GET", ts.URL+"/v1/jobs/"+view.ID, "")
+		if code != http.StatusOK {
+			t.Fatalf("get: %d %s", code, body)
+		}
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.Status != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fuzz job did not finish in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if view.Status != JobDone {
+		t.Fatalf("job status = %s (%s)", view.Status, view.Error)
+	}
+	var rep difftest.Report
+	if err := json.Unmarshal(view.Result, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("fuzz job found divergences: %+v", rep.Divergences)
+	}
+	// Conflicting specs are rejected up front.
+	code, _, body = do(t, "POST", ts.URL+"/v1/jobs", `{"driver": "ipc", "fuzz": {"seeds": 2}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("conflicting job accepted: %d %s", code, body)
+	}
+}

@@ -81,6 +81,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/config", s.handleConfig)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/run/{driver}", s.handleRun)
+	mux.HandleFunc("POST /v1/run/fuzz", s.handleFuzz) // literal pattern wins over {driver}
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
@@ -186,10 +187,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // --- async jobs ---
 
 // JobRequest is the body of POST /v1/jobs: a run driver (Driver +
-// RunRequest fields) or a sweep (Sweep spec), executed asynchronously.
+// RunRequest fields), a sweep (Sweep spec) or a differential fuzzing
+// campaign (Fuzz spec), executed asynchronously.
 type JobRequest struct {
-	Driver string     `json:"driver,omitempty"` // run driver name, or "sweep"
-	Sweep  *SweepSpec `json:"sweep,omitempty"`
+	Driver string       `json:"driver,omitempty"` // run driver name, "sweep" or "fuzz"
+	Sweep  *SweepSpec   `json:"sweep,omitempty"`
+	Fuzz   *FuzzRequest `json:"fuzz,omitempty"`
 	RunRequest
 }
 
@@ -210,6 +213,34 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // startJob validates the request, registers the job and launches its
 // runner goroutine.
 func (s *Server) startJob(req JobRequest) (JobView, error) {
+	if req.Fuzz != nil || req.Driver == "fuzz" {
+		if req.Driver != "" && req.Driver != "fuzz" {
+			return JobView{}, fmt.Errorf("job: driver %q conflicts with fuzz spec", req.Driver)
+		}
+		if req.Sweep != nil {
+			return JobView{}, fmt.Errorf("job: fuzz and sweep specs conflict")
+		}
+		fz := FuzzRequest{}
+		if req.Fuzz != nil {
+			fz = *req.Fuzz
+		}
+		if fz.Workers == 0 {
+			fz.Workers = req.Workers
+		}
+		// Validate before accepting, so a bad campaign 400s instead of
+		// surfacing as a failed job.
+		if _, err := fz.resolve(); err != nil {
+			return JobView{}, err
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		id := s.jobs.create("fuzz", cancel)
+		go func() {
+			defer cancel()
+			s.runFuzzJob(ctx, id, fz)
+		}()
+		view, _ := s.jobs.get(id)
+		return view, nil
+	}
 	isSweep := req.Sweep != nil || req.Driver == "sweep"
 	var d Driver
 	if isSweep {
@@ -372,6 +403,10 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	for _, d := range drivers {
 		resp.Drivers = append(resp.Drivers, DriverInfo{Endpoint: "/v1/run/" + d.Name, Artifact: d.Artifact})
 	}
+	resp.Drivers = append(resp.Drivers, DriverInfo{
+		Endpoint: "/v1/run/fuzz",
+		Artifact: "differential fuzzing campaign (ISS-vs-pipeline golden-model oracle)",
+	})
 	writeJSON(w, http.StatusOK, resp)
 }
 

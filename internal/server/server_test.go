@@ -70,8 +70,12 @@ func TestConfigEndpoint(t *testing.T) {
 	if resp.Config.ROBSize != 256 || !strings.Contains(resp.Table1, "Table 1") {
 		t.Fatalf("config body: rob=%d table1=%q", resp.Config.ROBSize, resp.Table1[:40])
 	}
-	if len(resp.Drivers) != len(drivers) {
-		t.Fatalf("drivers listed: %d, want %d", len(resp.Drivers), len(drivers))
+	// Every run driver plus the fuzz campaign endpoint.
+	if len(resp.Drivers) != len(drivers)+1 {
+		t.Fatalf("drivers listed: %d, want %d", len(resp.Drivers), len(drivers)+1)
+	}
+	if last := resp.Drivers[len(resp.Drivers)-1]; last.Endpoint != "/v1/run/fuzz" {
+		t.Fatalf("last driver endpoint = %q, want /v1/run/fuzz", last.Endpoint)
 	}
 }
 

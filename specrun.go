@@ -19,6 +19,7 @@ package specrun
 import (
 	"specrun/internal/attack"
 	"specrun/internal/core"
+	"specrun/internal/difftest"
 	"specrun/internal/runahead"
 	"specrun/internal/server"
 )
@@ -115,4 +116,25 @@ var (
 	HashKey         = core.HashKey
 	EncodeJSON      = server.Encode
 	Version         = server.Version
+)
+
+// Differential fuzzing (specrun/internal/difftest): random programs run in
+// lockstep on the in-order reference interpreter and the OoO pipeline
+// across the runahead × secure × ROB matrix — the golden-model oracle
+// behind `specrun fuzz` and POST /v1/run/fuzz.
+type (
+	// FuzzSpec parameterises one campaign (seeds, matrix, body length).
+	FuzzSpec = difftest.CampaignSpec
+	// FuzzReport is the deterministic campaign outcome.
+	FuzzReport = difftest.Report
+	// FuzzDivergence is one golden-model violation, with its minimized
+	// reproducer when the shrinker ran.
+	FuzzDivergence = difftest.Divergence
+)
+
+// RunFuzzCampaign executes a differential fuzzing campaign on the sweep
+// engine; FuzzMatrix exposes the configuration matrix it checks.
+var (
+	RunFuzzCampaign = difftest.Run
+	FuzzMatrix      = difftest.Matrix
 )
