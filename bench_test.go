@@ -48,12 +48,12 @@ func benchIPC(b *testing.B, name string, kind runahead.Kind) {
 	var ipc float64
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		m, err := core.RunProgram(cfg, k.Build())
+		st, err := core.RunProgramStats(cfg, k.Build())
 		if err != nil {
 			b.Fatal(err)
 		}
-		ipc = m.Stats().IPC()
-		cycles = m.Stats().Cycles
+		ipc = st.IPC()
+		cycles = st.Cycles
 	}
 	b.ReportMetric(ipc, "IPC")
 	b.ReportMetric(float64(cycles), "cycles")
@@ -338,8 +338,33 @@ func BenchmarkAblation_ExitPenalty(b *testing.B) {
 }
 
 // BenchmarkSimSpeed reports raw simulator throughput in simulated cycles per
-// second of host time.
+// second of host time, on the steady-state path every sweep and fuzz worker
+// now takes: one machine, Reset per program.  Run with -benchmem; the
+// allocs/op figure is the zero-allocation tentpole's regression canary (the
+// committed baseline in bench/ gates it in CI).
 func BenchmarkSimSpeed(b *testing.B) {
+	prog := proggen.Generate(42, proggen.DefaultOptions())
+	m := core.NewMachine(core.DefaultConfig(), prog)
+	if err := m.Run(50_000_000); err != nil { // warmup: size pools and pages
+		b.Fatal(err)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset(prog)
+		if err := m.Run(50_000_000); err != nil {
+			b.Fatal(err)
+		}
+		cycles += m.Stats().Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
+// BenchmarkSimSpeed_Fresh is the same workload with a throwaway machine per
+// run — the only mode the simulator had before machine reuse existed.  The
+// gap between the two is the cost of rebuilding caches, predictors and
+// queues per job.
+func BenchmarkSimSpeed_Fresh(b *testing.B) {
 	prog := proggen.Generate(42, proggen.DefaultOptions())
 	var cycles uint64
 	for i := 0; i < b.N; i++ {

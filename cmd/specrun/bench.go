@@ -5,33 +5,153 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"testing"
 
 	"specrun/internal/attack"
 	"specrun/internal/core"
+	"specrun/internal/proggen"
 	"specrun/internal/server"
 )
 
+// SimBench carries raw simulator-throughput metrics: how fast the simulator
+// itself runs, independent of what it simulates.  Throughput is
+// host-dependent; the allocation metrics are deterministic for a given
+// binary, which is what makes them gateable across machines.
+type SimBench struct {
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"` // simulated cycles per host second
+	CyclesPerRun    uint64  `json:"cycles_per_run"`     // simulated cycles per benchmark program run
+	AllocsPerOp     uint64  `json:"allocs_per_op"`      // heap allocations per run (steady-state, machine reuse)
+	BytesPerOp      uint64  `json:"bytes_per_op"`       // heap bytes per run
+	Runs            int     `json:"runs"`               // benchmark iterations measured
+	Host            string  `json:"host"`               // host fingerprint; throughput gates only apply on a matching host
+}
+
 // BenchReport is the stable JSON document `specrun bench --json` emits: the
 // Fig. 7/9/10/11 benchmark metrics of the paper, each in exactly the shape
-// the corresponding POST /v1/run/{driver} endpoint returns.  CI uploads it
-// as an artifact on every run, seeding the perf trajectory.
+// the corresponding POST /v1/run/{driver} endpoint returns, plus the
+// simulator-throughput section.  CI uploads it as a BENCH_*.json artifact on
+// every run — the repo's pinned performance trajectory.
 type BenchReport struct {
-	Version string `json:"version"`
-	IPC     any    `json:"ipc"`   // Fig. 7 rows + mean speedup
-	Fig9    any    `json:"fig9"`  // PHT PoC probe sweep
-	Fig10   any    `json:"fig10"` // N1/N2/N3 transient windows
-	Fig11   any    `json:"fig11"` // beyond-the-ROB leak, both machines
+	Version string    `json:"version"`
+	IPC     any       `json:"ipc"`   // Fig. 7 rows + mean speedup
+	Fig9    any       `json:"fig9"`  // PHT PoC probe sweep
+	Fig10   any       `json:"fig10"` // N1/N2/N3 transient windows
+	Fig11   any       `json:"fig11"` // beyond-the-ROB leak, both machines
+	Sim     *SimBench `json:"sim,omitempty"`
+}
+
+// hostFingerprint identifies the machine well enough to decide whether two
+// throughput numbers are comparable.
+func hostFingerprint() string {
+	model := runtime.GOOS + "/" + runtime.GOARCH
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				model += " " + strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+				break
+			}
+		}
+	}
+	return model
+}
+
+// measureSim benchmarks the steady-state simulation path (one machine,
+// Reset per program — what every sweep and fuzz worker runs).
+func measureSim() (*SimBench, error) {
+	prog := proggen.Generate(42, proggen.DefaultOptions())
+	m := core.NewMachine(core.DefaultConfig(), prog)
+	if err := m.Run(50_000_000); err != nil { // warmup: size pools and pages
+		return nil, err
+	}
+	var cycles uint64
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		cycles = 0
+		for i := 0; i < b.N; i++ {
+			m.Reset(prog)
+			if err := m.Run(50_000_000); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			cycles += m.Stats().Cycles
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	if r.N == 0 {
+		return nil, fmt.Errorf("bench: simulator benchmark did not run")
+	}
+	return &SimBench{
+		SimCyclesPerSec: float64(cycles) / r.T.Seconds(),
+		CyclesPerRun:    cycles / uint64(r.N),
+		AllocsPerOp:     uint64(r.AllocsPerOp()),
+		BytesPerOp:      uint64(r.AllocedBytesPerOp()),
+		Runs:            r.N,
+		Host:            hostFingerprint(),
+	}, nil
+}
+
+// gate compares the measured simulator metrics against a committed baseline
+// report and fails on regression: the allocation metrics gate on every host
+// (they are properties of the binary), throughput only when the baseline was
+// recorded on the same hardware.
+func gate(sim *SimBench, baselinePath string, tol float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench: gate baseline: %w", err)
+	}
+	var base BenchReport
+	if err := server.Decode(data, &base); err != nil {
+		return fmt.Errorf("bench: gate baseline %s: %w", baselinePath, err)
+	}
+	if base.Sim == nil {
+		return fmt.Errorf("bench: gate baseline %s has no sim section", baselinePath)
+	}
+	b := base.Sim
+	var fails []string
+	// Small absolute slack on top of the relative tolerance so a baseline of
+	// zero allocations doesn't make any single stray allocation fatal noise.
+	if limit := float64(b.AllocsPerOp)*(1+tol) + 2; float64(sim.AllocsPerOp) > limit {
+		fails = append(fails, fmt.Sprintf("allocs/op %d > baseline %d (+%.0f%%)", sim.AllocsPerOp, b.AllocsPerOp, tol*100))
+	}
+	if limit := float64(b.BytesPerOp)*(1+tol) + 256; float64(sim.BytesPerOp) > limit {
+		fails = append(fails, fmt.Sprintf("bytes/op %d > baseline %d (+%.0f%%)", sim.BytesPerOp, b.BytesPerOp, tol*100))
+	}
+	if sim.Host == b.Host && b.SimCyclesPerSec > 0 {
+		if sim.SimCyclesPerSec < b.SimCyclesPerSec*(1-tol) {
+			fails = append(fails, fmt.Sprintf("throughput %.0f sim_cycles/s < baseline %.0f (-%.0f%%)",
+				sim.SimCyclesPerSec, b.SimCyclesPerSec, tol*100))
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "bench: gate: host differs from baseline (%q vs %q); throughput compared informationally only: %.0f vs %.0f sim_cycles/s\n",
+			sim.Host, b.Host, sim.SimCyclesPerSec, b.SimCyclesPerSec)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("bench: performance gate failed vs %s:\n  %s", baselinePath, strings.Join(fails, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "bench: gate ok vs %s (allocs/op %d ≤ %d, throughput %.2fM vs %.2fM sim_cycles/s)\n",
+		baselinePath, sim.AllocsPerOp, b.AllocsPerOp, sim.SimCyclesPerSec/1e6, b.SimCyclesPerSec/1e6)
+	return nil
 }
 
 // runBench implements `specrun bench`: run the four benchmark drivers on the
-// Table 1 machine and emit their metrics as one document.
+// Table 1 machine, measure simulator throughput, and emit the metrics as one
+// document.
 //
 //	specrun bench --json --out bench.json
+//	specrun bench --json --gate bench/baseline.json
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit the canonical JSON document (default: human summary)")
 	out := fs.String("out", "", "output file (default stdout)")
 	workers := fs.Int("workers", 0, "worker goroutines for the multi-run drivers (0 = GOMAXPROCS)")
+	noSim := fs.Bool("no-sim", false, "skip the simulator-throughput benchmark (sim section)")
+	gatePath := fs.String("gate", "", "baseline BENCH json; exit nonzero on performance regression against it")
+	tol := fs.Float64("tolerance", 0.10, "relative regression tolerated by --gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +175,13 @@ func runBench(args []string) error {
 		}
 		*d.dst = res
 	}
+	if !*noSim {
+		sim, err := measureSim()
+		if err != nil {
+			return fmt.Errorf("bench: sim: %w", err)
+		}
+		rep.Sim = sim
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -70,20 +197,32 @@ func runBench(args []string) error {
 		if err != nil {
 			return err
 		}
-		_, err = w.Write(b)
-		return err
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	} else {
+		ipc := rep.IPC.(server.IPCResponse)
+		fmt.Fprintf(w, "Fig. 7: mean runahead speedup %.2f%% over %d kernels\n",
+			(ipc.MeanSpeedup-1)*100, len(ipc.Rows))
+		fig9 := rep.Fig9.(core.AttackResult)
+		fmt.Fprintf(w, "Fig. 9: leaked=%v best_idx=%d contrast=%d/%d episodes=%d\n",
+			fig9.Leaked, fig9.BestIdx, fig9.Median, fig9.BestLat, fig9.Stats.RunaheadEpisodes)
+		fig10 := rep.Fig10.(server.Fig10Response)
+		fmt.Fprintf(w, "Fig. 10: N1=%d N2=%d N3=%d\n", fig10.N1.N, fig10.N2.N, fig10.N3.N)
+		fig11 := rep.Fig11.(core.Fig11Result)
+		fmt.Fprintf(w, "Fig. 11: runahead leaked=%v, no-runahead leaked=%v\n",
+			fig11.Runahead.Leaked, fig11.NoRunahead.Leaked)
+		if rep.Sim != nil {
+			fmt.Fprintf(w, "Sim: %.2fM sim_cycles/s, %d allocs/op, %d B/op (%d cycles/run × %d runs)\n",
+				rep.Sim.SimCyclesPerSec/1e6, rep.Sim.AllocsPerOp, rep.Sim.BytesPerOp,
+				rep.Sim.CyclesPerRun, rep.Sim.Runs)
+		}
 	}
-
-	ipc := rep.IPC.(server.IPCResponse)
-	fmt.Fprintf(w, "Fig. 7: mean runahead speedup %.2f%% over %d kernels\n",
-		(ipc.MeanSpeedup-1)*100, len(ipc.Rows))
-	fig9 := rep.Fig9.(core.AttackResult)
-	fmt.Fprintf(w, "Fig. 9: leaked=%v best_idx=%d contrast=%d/%d episodes=%d\n",
-		fig9.Leaked, fig9.BestIdx, fig9.Median, fig9.BestLat, fig9.Stats.RunaheadEpisodes)
-	fig10 := rep.Fig10.(server.Fig10Response)
-	fmt.Fprintf(w, "Fig. 10: N1=%d N2=%d N3=%d\n", fig10.N1.N, fig10.N2.N, fig10.N3.N)
-	fig11 := rep.Fig11.(core.Fig11Result)
-	fmt.Fprintf(w, "Fig. 11: runahead leaked=%v, no-runahead leaked=%v\n",
-		fig11.Runahead.Leaked, fig11.NoRunahead.Leaked)
+	if *gatePath != "" {
+		if rep.Sim == nil {
+			return fmt.Errorf("bench: --gate requires the sim section (drop --no-sim)")
+		}
+		return gate(rep.Sim, *gatePath, *tol)
+	}
 	return nil
 }

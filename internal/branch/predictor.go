@@ -245,10 +245,45 @@ type Checkpoint struct {
 
 // Checkpoint snapshots the speculative state.
 func (p *Predictor) Checkpoint() Checkpoint {
-	cp := Checkpoint{ghr: p.ghr, rsbTop: p.rsbTop, rsb: make([]uint64, len(p.rsb))}
-	copy(cp.rsb, p.rsb)
+	var cp Checkpoint
+	p.CheckpointInto(&cp)
 	return cp
 }
+
+// CheckpointInto snapshots the speculative state into cp, reusing cp's RSB
+// buffer when it is large enough.  The CPU's pooled uops carry their
+// checkpoint buffers across reuse, so the per-branch snapshot allocates
+// nothing in steady state.
+func (p *Predictor) CheckpointInto(cp *Checkpoint) {
+	cp.ghr = p.ghr
+	cp.rsbTop = p.rsbTop
+	if cap(cp.rsb) < len(p.rsb) {
+		cp.rsb = make([]uint64, len(p.rsb))
+	}
+	cp.rsb = cp.rsb[:len(p.rsb)]
+	copy(cp.rsb, p.rsb)
+}
+
+// Reset returns the predictor to its just-constructed state (machine reuse).
+func (p *Predictor) Reset() {
+	for i := range p.pht {
+		p.pht[i] = 1 // weakly not-taken
+	}
+	for i := range p.btb {
+		p.btb[i] = btbEntry{}
+	}
+	p.btbClock = 0
+	p.ghr, p.cghr = 0, 0
+	p.rsbTop, p.crsbTop = 0, 0
+	for i := range p.rsb {
+		p.rsb[i], p.crsb[i] = 0, 0
+	}
+	p.Stats = Stats{}
+}
+
+// Recycle returns a zeroed checkpoint that retains cp's RSB buffer, so a
+// pooled holder can be cleared without losing the allocation.
+func (cp Checkpoint) Recycle() Checkpoint { return Checkpoint{rsb: cp.rsb[:0]} }
 
 // Restore rewinds the speculative state to cp (misprediction recovery).
 func (p *Predictor) Restore(cp Checkpoint) {

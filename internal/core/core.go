@@ -15,8 +15,10 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
+	"sync"
 
 	"specrun/internal/asm"
 	"specrun/internal/attack"
@@ -64,6 +66,16 @@ func NewMachine(cfg Config, prog *asm.Program) *Machine {
 	return &Machine{CPU: cpu.New(cfg, prog), Prog: prog}
 }
 
+// Reset rewinds the machine to its just-constructed state and loads prog,
+// reusing every internal allocation (caches, predictor tables, uop pool,
+// memory pages).  A reset machine produces byte-identical statistics to a
+// fresh NewMachine(cfg, prog) — the property the sweep drivers rely on to
+// run one machine per worker instead of one per job.
+func (m *Machine) Reset(prog *asm.Program) {
+	m.CPU.Reset(prog)
+	m.Prog = prog
+}
+
 // defaultBudget bounds experiment simulations.
 const defaultBudget = 50_000_000
 
@@ -74,6 +86,59 @@ func RunProgram(cfg Config, prog *asm.Program) (*Machine, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// machinePools caches reusable machines per configuration for
+// [RunProgramStats]: multi-run drivers simulate thousands of programs on a
+// handful of configurations, and rebuilding the multi-megabyte cache and
+// predictor arrays per job dominated their allocation profile.  Keyed by the
+// configuration's canonical JSON; at most one machine per worker per
+// configuration is live at a time, and idle machines are released under GC
+// pressure (sync.Pool semantics via sweep.Local).
+var machinePools sync.Map // string -> *sweep.Local[*Machine]
+
+func poolFor(cfg Config) *sweep.Local[*Machine] {
+	key, err := json.Marshal(cfg)
+	if err != nil {
+		return nil // unkeyable config (cannot happen for real Config values)
+	}
+	if p, ok := machinePools.Load(string(key)); ok {
+		return p.(*sweep.Local[*Machine])
+	}
+	p, _ := machinePools.LoadOrStore(string(key),
+		sweep.NewLocal(func() *Machine { return nil }))
+	return p.(*sweep.Local[*Machine])
+}
+
+// RunProgramStats executes prog to completion on a pooled machine and
+// returns the run statistics by value.  Use it instead of RunProgram when
+// only the Stats outcome matters: the machine itself is recycled for the
+// next job rather than escaping to the caller.
+func RunProgramStats(cfg Config, prog *asm.Program) (cpu.Stats, error) {
+	pool := poolFor(cfg)
+	if pool == nil {
+		m, err := RunProgram(cfg, prog)
+		if err != nil {
+			return cpu.Stats{}, err
+		}
+		return *m.Stats(), nil
+	}
+	m := pool.Get()
+	if m == nil {
+		m = NewMachine(cfg, prog)
+	} else {
+		m.Reset(prog)
+	}
+	err := m.Run(defaultBudget)
+	st := *m.Stats()
+	// The stats copy must not share the reaches buffer with the recycled
+	// machine: the next job truncates and overwrites it.
+	st.EpisodeReaches = append([]uint64(nil), st.EpisodeReaches...)
+	pool.Put(m)
+	if err != nil {
+		return cpu.Stats{}, err
+	}
+	return st, nil
 }
 
 // IPCRow is one bar pair of Fig. 7.
@@ -116,12 +181,12 @@ func RunIPCComparisonCtx(ctx context.Context, base Config, workers int) ([]IPCRo
 	for _, k := range kernels {
 		jobs = append(jobs, ipcJob{kernel: k, cfg: noCfg}, ipcJob{kernel: k, cfg: raCfg, ra: true})
 	}
-	stats, err := sweep.First(ctx, jobs, func(_ context.Context, j ipcJob) (*cpu.Stats, error) {
-		m, err := RunProgram(j.cfg, j.kernel.Build())
+	stats, err := sweep.First(ctx, jobs, func(_ context.Context, j ipcJob) (cpu.Stats, error) {
+		st, err := RunProgramStats(j.cfg, j.kernel.Build())
 		if err != nil {
-			return nil, fmt.Errorf("core: %s (ra=%v): %w", j.kernel.Name, j.ra, err)
+			return cpu.Stats{}, fmt.Errorf("core: %s (ra=%v): %w", j.kernel.Name, j.ra, err)
 		}
-		return m.Stats(), nil
+		return st, nil
 	}, sweep.Options{Workers: workers})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"specrun/internal/workload"
+)
+
+// TestRunProgramStatsMatchesFreshMachine pins the pooled-machine contract:
+// RunProgramStats (which reuses one machine per worker per configuration)
+// must return statistics byte-identical to a throwaway fresh machine, on
+// first use and on every pooled reuse after it.
+func TestRunProgramStatsMatchesFreshMachine(t *testing.T) {
+	k, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{DefaultConfig(), BaselineConfig(), SecureConfig()} {
+		m, err := RunProgram(cfg, k.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(m.Stats())
+		// Three rounds: the first typically builds the pooled machine, the
+		// rest exercise Reset-reuse.
+		for round := 0; round < 3; round++ {
+			st, err := RunProgramStats(cfg, k.Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := json.Marshal(&st)
+			if string(got) != string(want) {
+				t.Fatalf("round %d: pooled stats diverged:\nfresh:  %s\npooled: %s", round, want, got)
+			}
+		}
+	}
+}

@@ -33,6 +33,12 @@ func (c *CPU) commitPhase(now uint64) {
 		}
 		c.releasePRF(u)
 		c.removeFromLSQ(u)
+		// The uop is out of every queue (ROB popped, LSQ removed above, and
+		// a committed uop is stDone so the issue/in-flight queues dropped it
+		// when it completed); recycle it.  Remaining RAT or operand
+		// references validate seq and fall back to the architectural state,
+		// which retirement just updated.
+		c.freeUOp(u)
 		c.lastProgress = c.cycle
 		if c.halted {
 			return
@@ -62,7 +68,7 @@ func (c *CPU) maybeEnterRunahead(u *uop, now uint64) {
 	// backend resource (ROB, IQ, LQ/SQ, physical registers) has filled, or
 	// the front end is starved — while work is waiting.
 	halted := c.dispatchedPrev == 0 &&
-		(len(c.frontQ) > 0 || c.fetchBlocked || now < c.fetchStallUntil)
+		(c.frontQ.len() > 0 || c.fetchBlocked || now < c.fetchStallUntil)
 	if !c.rob.full() && !halted {
 		return
 	}
@@ -271,7 +277,7 @@ func (c *CPU) resolveScopes(u *uop) {
 		sc.Resolved = true
 		sc.Correct = u.actualTaken == sc.PredTaken
 		if sc.Correct {
-			c.resolvedOK[sc.N] = true
+			c.resolvedOK[sc.N] = c.scopeEpoch
 		} else {
 			c.sl.DeleteRelated(sc.N, c.tracker.InnerOf)
 		}
@@ -303,10 +309,14 @@ func (c *CPU) enterRunahead(stalling *uop, now uint64) {
 	c.mode = ModeRunahead
 
 	if c.cfg.Secure.Enabled {
-		c.tracker = secure.NewTracker()
+		if c.tracker == nil {
+			c.tracker = secure.NewTracker()
+		} else {
+			c.tracker.Reset()
+		}
 		c.sl.Clear()
 		c.slActive = false
-		clear(c.resolvedOK)
+		c.scopeEpoch++ // empties the epoch-tagged resolvedOK set in O(1)
 	}
 
 	// The stalling load pseudo-retires immediately with an INV result; its

@@ -208,10 +208,16 @@ type CPU struct {
 	strides *runahead.StrideDetector
 
 	// Secure runahead.
-	sl         *secure.SLCache
-	tracker    *secure.Tracker
-	slActive   bool
-	resolvedOK map[int]bool // scope id -> correctly predicted (the paper's S[])
+	sl       *secure.SLCache
+	tracker  *secure.Tracker
+	slActive bool
+	// resolvedOK is the paper's S[]: scope id -> correctly predicted.  Scope
+	// ids are bounded at 63 per episode (secure.Tracker exhausts its tag
+	// space there), so the set is an epoch-tagged array: an entry is "set"
+	// iff it carries the current scopeEpoch, and clearing it for a new
+	// episode is a single counter bump.
+	resolvedOK [64]uint64
+	scopeEpoch uint64
 
 	arch archState
 	rat  rat
@@ -227,14 +233,22 @@ type CPU struct {
 	fetchStallUntil uint64
 	fetchBlocked    bool // ran off the program text or past HALT; waits for redirect
 	lastFetchLine   uint64
-	frontQ          []*uop
+	frontQ          *uopRing
 
 	// Back end.
-	rob      *robQ
+	rob      *uopRing
 	iq       []*uop
 	lq       []*uop
 	sq       []*uop
 	inflight []*uop
+
+	// uop recycling (see the uop type for the safety argument).  deadNew and
+	// deadOld hold squashed uops that the lazily-compacted queues may still
+	// reference; a uop squashed in step T is out of every queue by the end of
+	// step T+1, so the end-of-step drain frees deadOld and rotates the lists.
+	uopPool          []*uop
+	ratPool          []*rat
+	deadNew, deadOld []*uop
 
 	// Rename resources in use.
 	intPRFUsed, fpPRFUsed, vecPRFUsed int
@@ -262,6 +276,10 @@ type CPU struct {
 
 // New builds a CPU running prog.  The program's data segments are loaded
 // into a fresh memory image; fetch starts at prog.Base.
+//
+// Every capacity-bounded structure is sized up front: the steady-state tick
+// loop performs no heap allocation, and Reset returns the machine to this
+// state without rebuilding any of it.
 func New(cfg Config, prog *asm.Program) *CPU {
 	m := mem.NewMemory()
 	prog.LoadInto(m)
@@ -275,13 +293,97 @@ func New(cfg Config, prog *asm.Program) *CPU {
 		rdt:        runahead.NewRDT(),
 		strides:    runahead.NewStrideDetector(),
 		sl:         secure.NewSLCache(cfg.Secure.SLEntries),
-		resolvedOK: make(map[int]bool),
+		scopeEpoch: 1,
 		fetchPC:    prog.Base,
-		rob:        newROB(cfg.ROBSize),
+		frontQ:     newRing(cfg.FrontQ),
+		rob:        newRing(cfg.ROBSize),
+		iq:         make([]*uop, 0, cfg.IQSize),
+		lq:         make([]*uop, 0, cfg.LQSize),
+		sq:         make([]*uop, 0, cfg.SQSize),
+		inflight:   make([]*uop, 0, cfg.ROBSize),
 		divBusy:    make([]uint64, cfg.IntDiv),
 		fdivBusy:   make([]uint64, cfg.FPDiv),
 	}
+	// Seed the uop pool from one slab: enough for a full window plus the
+	// fetch buffer and one squash generation in flight.  The pool still
+	// grows on demand if a pathological schedule needs more.
+	slab := make([]uop, 2*(cfg.ROBSize+cfg.FrontQ))
+	c.uopPool = make([]*uop, 0, len(slab))
+	for i := range slab {
+		c.uopPool = append(c.uopPool, &slab[i])
+	}
 	return c
+}
+
+// Reset rewinds the machine to its just-constructed state and loads prog,
+// reusing every allocation: caches, predictor tables, pooled uops and
+// checkpoints, queue storage and memory pages.  A Reset machine is
+// indistinguishable from New(cfg, prog) — same cycle-level timing, same
+// statistics — which the regression tests pin; sweep and difftest workers
+// rely on it to run one machine per worker instead of one per job.
+// Installed observers (SetTracer, SetCommitHook, debug hooks) are kept.
+func (c *CPU) Reset(prog *asm.Program) {
+	// Drain the pipeline back into the pool.
+	for c.rob.len() > 0 {
+		c.freeUOp(c.rob.popBack())
+	}
+	for c.frontQ.len() > 0 {
+		c.freeUOp(c.frontQ.popFront())
+	}
+	for _, u := range c.deadNew {
+		c.freeUOp(u)
+	}
+	c.deadNew = c.deadNew[:0]
+	for _, u := range c.deadOld {
+		c.freeUOp(u)
+	}
+	c.deadOld = c.deadOld[:0]
+	c.iq = c.iq[:0]
+	c.lq = c.lq[:0]
+	c.sq = c.sq[:0]
+	c.inflight = c.inflight[:0]
+
+	c.prog = prog
+	c.memImg.Reset()
+	prog.LoadInto(c.memImg)
+	c.hier.Reset()
+	c.bp.Reset()
+	c.raCache.Reset()
+	c.rdt.Reset()
+	c.strides.Reset()
+	c.sl.Reset()
+	if c.tracker != nil {
+		c.tracker.Reset()
+	}
+	c.slActive = false
+	c.resolvedOK = [64]uint64{}
+	c.scopeEpoch = 1
+
+	c.arch = archState{}
+	c.rat.reset()
+	c.mode = ModeNormal
+	c.ra = runaheadState{}
+	c.cycle, c.seq = 0, 0
+
+	c.fetchPC = prog.Base
+	c.fetchStallUntil = 0
+	c.fetchBlocked = false
+	c.lastFetchLine = 0
+
+	c.intPRFUsed, c.fpPRFUsed, c.vecPRFUsed = 0, 0, 0
+	c.fuUsed = [8]int{}
+	for i := range c.divBusy {
+		c.divBusy[i] = 0
+	}
+	for i := range c.fdivBusy {
+		c.fdivBusy[i] = 0
+	}
+
+	c.halted = false
+	c.lastProgress = 0
+	c.dispatchedPrev, c.dispatchedNow = 0, 0
+	reaches := c.stats.EpisodeReaches[:0]
+	c.stats = Stats{EpisodeReaches: reaches}
 }
 
 // Mem returns the functional memory image (committed state).
@@ -322,11 +424,15 @@ func (c *CPU) Mode() Mode { return c.mode }
 const progressWindow = 200_000
 
 // Run advances the machine until HALT commits or maxCycles elapse.
+// Stats.Cycles is brought up to date on every exit path, including the
+// deadlock one — callers inspecting IPC() after an error see the cycles the
+// machine actually burned, not a stale count from a previous Run call.
 func (c *CPU) Run(maxCycles uint64) error {
 	limit := c.cycle + maxCycles
 	for !c.halted && c.cycle < limit {
 		c.step()
 		if c.cycle-c.lastProgress > progressWindow {
+			c.stats.Cycles = c.cycle
 			return fmt.Errorf("%w at cycle %d (pc %#x, mode %d)", ErrDeadlock, c.cycle, c.fetchPC, c.mode)
 		}
 	}
@@ -362,4 +468,15 @@ func (c *CPU) step() {
 	}
 	c.traceTick()
 	c.cycle++
+
+	// Recycle uops squashed one full step ago: every lazily-compacted queue
+	// has dropped them by now (iq/lq/sq at this step's issue phase, inflight
+	// at this step's writeback), so no queue can hand out a recycled pointer.
+	if len(c.deadOld) > 0 {
+		for _, u := range c.deadOld {
+			c.freeUOp(u)
+		}
+		c.deadOld = c.deadOld[:0]
+	}
+	c.deadOld, c.deadNew = c.deadNew, c.deadOld
 }

@@ -10,8 +10,8 @@ import (
 // subject to the Table 1 resource limits.  NOPs consume only a ROB entry —
 // the property §5.3 of the paper uses to measure the transient window.
 func (c *CPU) dispatchPhase(now uint64) {
-	for n := 0; n < c.cfg.DispatchWidth && len(c.frontQ) > 0; n++ {
-		u := c.frontQ[0]
+	for n := 0; n < c.cfg.DispatchWidth && c.frontQ.len() > 0; n++ {
+		u := c.frontQ.front()
 		if u.dispatchable > now {
 			return
 		}
@@ -41,7 +41,7 @@ func (c *CPU) dispatchPhase(now uint64) {
 		// destination poisoned; loads, stores and control always execute.
 		if c.mode == ModeRunahead && c.cfg.Runahead.Kind == runahead.KindPrecise &&
 			k == isa.KindALU && !op.IsSerializing() && !c.rdt.InSlice(u.pc) {
-			c.frontQ = c.frontQ[1:]
+			c.frontQ.popFront()
 			c.dropPRE(u, now)
 			continue
 		}
@@ -62,7 +62,7 @@ func (c *CPU) dispatchPhase(now uint64) {
 
 		c.rename(u)
 		c.rob.push(u)
-		c.frontQ = c.frontQ[1:]
+		c.frontQ.popFront()
 		c.stats.Dispatched++
 		c.dispatchedNow++
 		if c.mode == ModeRunahead && u.seq > c.ra.maxSeq {
@@ -101,6 +101,7 @@ func (c *CPU) rename(u *uop) {
 				o.ready = true
 			} else {
 				o.producer = p
+				o.prodSeq = p.seq
 			}
 			continue
 		}
@@ -112,7 +113,7 @@ func (c *CPU) rename(u *uop) {
 		c.rat.set(u.dest, u)
 	}
 	if u.isCtl() {
-		u.ratCP = c.rat.snapshot()
+		u.ratCP = c.snapshotRAT()
 	}
 }
 

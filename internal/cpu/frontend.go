@@ -18,7 +18,7 @@ func (c *CPU) fetchPhase(now uint64) {
 		return // SkipINVBranch mitigation: no speculation past an INV branch
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.frontQ) >= c.cfg.FrontQ {
+		if c.frontQ.full() {
 			return
 		}
 		in, ok := c.prog.InstAt(c.fetchPC)
@@ -41,7 +41,7 @@ func (c *CPU) fetchPhase(now uint64) {
 		}
 		u := c.newUOp(in, now)
 		redirected := c.predict(u)
-		c.frontQ = append(c.frontQ, u)
+		c.frontQ.push(u)
 		c.stats.Fetched++
 		if in.Op.Kind() == isa.KindHalt {
 			// Nothing architectural follows a HALT; stop fetching until a
@@ -57,13 +57,12 @@ func (c *CPU) fetchPhase(now uint64) {
 
 func (c *CPU) newUOp(in isa.Inst, now uint64) *uop {
 	c.seq++
-	u := &uop{
-		seq:          c.seq,
-		pc:           c.fetchPC,
-		inst:         in,
-		fetchedAt:    now,
-		dispatchable: now + uint64(c.cfg.FrontEndDepth-1),
-	}
+	u := c.allocUOp()
+	u.seq = c.seq
+	u.pc = c.fetchPC
+	u.inst = in
+	u.fetchedAt = now
+	u.dispatchable = now + uint64(c.cfg.FrontEndDepth-1)
 	if c.mode == ModeRunahead {
 		u.raEpisode = c.ra.episode
 	}
@@ -83,7 +82,7 @@ func (c *CPU) predict(u *uop) bool {
 		if taken {
 			next = u.inst.Target
 		}
-		u.bpCP = c.bp.Checkpoint()
+		c.bp.CheckpointInto(&u.bpCP)
 		u.hasBPCP = true
 	case isa.KindJump:
 		next = u.inst.Target
@@ -91,23 +90,23 @@ func (c *CPU) predict(u *uop) bool {
 		if t, ok := c.bp.PredictIndirect(u.pc); ok {
 			next = t
 		}
-		u.bpCP = c.bp.Checkpoint()
+		c.bp.CheckpointInto(&u.bpCP)
 		u.hasBPCP = true
 	case isa.KindCall:
 		c.bp.PushRSB(u.pc + isa.InstBytes)
 		next = u.inst.Target
-		u.bpCP = c.bp.Checkpoint()
+		c.bp.CheckpointInto(&u.bpCP)
 		u.hasBPCP = true
 	case isa.KindCallR:
 		c.bp.PushRSB(u.pc + isa.InstBytes)
 		if t, ok := c.bp.PredictIndirect(u.pc); ok {
 			next = t
 		}
-		u.bpCP = c.bp.Checkpoint()
+		c.bp.CheckpointInto(&u.bpCP)
 		u.hasBPCP = true
 	case isa.KindRet:
 		next = c.bp.PopRSB()
-		u.bpCP = c.bp.Checkpoint()
+		c.bp.CheckpointInto(&u.bpCP)
 		u.hasBPCP = true
 	}
 	u.predTarget = next

@@ -65,11 +65,24 @@ func (c *CPU) srcsReadyTo(u *uop, n int) bool {
 		if o.ready {
 			continue
 		}
-		if p := o.producer; p != nil && p.stage == stDone {
-			o.val, o.val2, o.inv = p.result, p.result2, p.resINV
-			o.producer = nil
-			o.ready = true
-			continue
+		if p := o.producer; p != nil {
+			if p.seq != o.prodSeq {
+				// The producer committed and its uop was recycled before this
+				// consumer polled it (possible when the consumer missed an
+				// issue-phase scan the cycle the producer completed).  The
+				// committed value — by in-order retirement, still unclobbered
+				// by any younger writer — is in the architectural state.
+				o.val, o.val2, o.inv, o.taint = c.arch.read(o.reg)
+				o.producer = nil
+				o.ready = true
+				continue
+			}
+			if p.stage == stDone {
+				o.val, o.val2, o.inv = p.result, p.result2, p.resINV
+				o.producer = nil
+				o.ready = true
+				continue
+			}
 		}
 		ready = false
 	}
@@ -519,7 +532,7 @@ func (c *CPU) slLoadPath(u *uop, line, now uint64) (done, ok bool) {
 	if !hit {
 		return false, false
 	}
-	if e.Btag.N == 0 || c.resolvedOK[e.Btag.N] {
+	if e.Btag.N == 0 || c.resolvedOK[e.Btag.N] == c.scopeEpoch {
 		// Safe (or gated on a correctly-predicted branch): promote to L1.
 		c.promoteSL(line, now)
 		return true, true

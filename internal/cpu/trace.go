@@ -64,7 +64,7 @@ func (c *CPU) traceTick() {
 		IQ:            len(c.iq),
 		LQ:            len(c.lq),
 		SQ:            len(c.sq),
-		FrontQ:        len(c.frontQ),
+		FrontQ:        c.frontQ.len(),
 		IntPRFUsed:    c.intPRFUsed,
 		Committed:     c.stats.Committed,
 		PseudoRetired: c.stats.PseudoRetired,

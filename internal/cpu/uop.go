@@ -14,6 +14,15 @@ const (
 )
 
 // uop is one dynamic instruction in flight.
+//
+// uops are pooled: the CPU recycles them at commit and after squash
+// compaction, so the steady-state tick loop allocates nothing.  A recycled
+// uop may still be referenced by stale pointers (RAT entries, RAT
+// checkpoints, operand producer links); every such reference carries the seq
+// it expects, and readers validate `ptr.seq == expected` before trusting the
+// fields.  Sequence numbers are never reused, so a recycled-and-reused uop
+// can never alias an old reference — a mismatch means the producer committed,
+// and its value is available from the architectural state instead.
 type uop struct {
 	seq  uint64
 	pc   uint64
@@ -27,7 +36,7 @@ type uop struct {
 	phtIdx       int
 	hasBPCP      bool
 	bpCP         branch.Checkpoint
-	ratCP        *rat // checkpoint for control instructions
+	ratCP        *rat // checkpoint for control instructions (pooled)
 
 	// Renamed sources.
 	srcs [4]operand
@@ -76,78 +85,94 @@ type operand struct {
 	val2     uint64
 	inv      bool
 	taint    secure.TaintSet
-	producer *uop // nil once the value is captured
+	producer *uop   // nil once the value is captured
+	prodSeq  uint64 // seq producer had at rename; a mismatch means it committed
+}
+
+// prodRef is a validated reference to an in-flight producer: the pointer is
+// only trusted while the pointee still carries the recorded seq.
+type prodRef struct {
+	u   *uop
+	seq uint64
+}
+
+// live returns the producer if the reference is still valid, nil if the slot
+// is empty or the producer has been recycled (i.e. it committed and its value
+// now lives in the architectural state).
+func (r prodRef) live() *uop {
+	if r.u == nil || r.u.seq != r.seq {
+		return nil
+	}
+	return r.u
 }
 
 // rat maps architectural registers to their youngest in-flight producer.
-// nil means the committed architectural state holds the value.
+// An empty (or stale) entry means the committed architectural state holds
+// the value.
 type rat struct {
-	intp [isa.NumIntRegs]*uop
-	fpp  [isa.NumFPRegs]*uop
-	vecp [isa.NumVecRegs]*uop
+	intp [isa.NumIntRegs]prodRef
+	fpp  [isa.NumFPRegs]prodRef
+	vecp [isa.NumVecRegs]prodRef
 }
 
 func (r *rat) lookup(reg isa.Reg) *uop {
 	switch reg.Class() {
 	case isa.ClassInt:
-		return r.intp[reg.Idx()]
+		return r.intp[reg.Idx()].live()
 	case isa.ClassFP:
-		return r.fpp[reg.Idx()]
+		return r.fpp[reg.Idx()].live()
 	case isa.ClassVec:
-		return r.vecp[reg.Idx()]
+		return r.vecp[reg.Idx()].live()
 	}
 	return nil
 }
 
 func (r *rat) set(reg isa.Reg, u *uop) {
+	ref := prodRef{u: u, seq: u.seq}
 	switch reg.Class() {
 	case isa.ClassInt:
-		r.intp[reg.Idx()] = u
+		r.intp[reg.Idx()] = ref
 	case isa.ClassFP:
-		r.fpp[reg.Idx()] = u
+		r.fpp[reg.Idx()] = ref
 	case isa.ClassVec:
-		r.vecp[reg.Idx()] = u
+		r.vecp[reg.Idx()] = ref
 	}
-}
-
-func (r *rat) snapshot() *rat {
-	cp := *r
-	return &cp
 }
 
 func (r *rat) reset() {
 	*r = rat{}
 }
 
-// robQ is the reorder buffer: a bounded FIFO of uops in program order.
-type robQ struct {
+// uopRing is a bounded FIFO of uops in program order; it backs both the
+// reorder buffer and the fetch buffer.
+type uopRing struct {
 	buf  []*uop
 	head int
 	n    int
 }
 
-func newROB(size int) *robQ { return &robQ{buf: make([]*uop, size)} }
+func newRing(size int) *uopRing { return &uopRing{buf: make([]*uop, size)} }
 
-func (q *robQ) full() bool  { return q.n == len(q.buf) }
-func (q *robQ) empty() bool { return q.n == 0 }
-func (q *robQ) len() int    { return q.n }
+func (q *uopRing) full() bool  { return q.n == len(q.buf) }
+func (q *uopRing) empty() bool { return q.n == 0 }
+func (q *uopRing) len() int    { return q.n }
 
-func (q *robQ) push(u *uop) {
+func (q *uopRing) push(u *uop) {
 	if q.full() {
-		panic("cpu: ROB overflow")
+		panic("cpu: ring overflow")
 	}
 	q.buf[(q.head+q.n)%len(q.buf)] = u
 	q.n++
 }
 
-func (q *robQ) front() *uop {
+func (q *uopRing) front() *uop {
 	if q.empty() {
 		return nil
 	}
 	return q.buf[q.head]
 }
 
-func (q *robQ) popFront() *uop {
+func (q *uopRing) popFront() *uop {
 	u := q.front()
 	if u == nil {
 		return nil
@@ -159,10 +184,10 @@ func (q *robQ) popFront() *uop {
 }
 
 // at returns the i'th oldest entry.
-func (q *robQ) at(i int) *uop { return q.buf[(q.head+i)%len(q.buf)] }
+func (q *uopRing) at(i int) *uop { return q.buf[(q.head+i)%len(q.buf)] }
 
 // popBack removes and returns the youngest entry.
-func (q *robQ) popBack() *uop {
+func (q *uopRing) popBack() *uop {
 	if q.n == 0 {
 		return nil
 	}
@@ -225,3 +250,48 @@ func (a *archState) write(reg isa.Reg, v, v2 uint64, inv bool, taint secure.Tain
 
 // regID flattens a register into the opaque id used by the taint tracker.
 func regID(reg isa.Reg) uint16 { return uint16(reg) }
+
+// ---- uop and RAT-checkpoint pooling ----
+
+// allocUOp hands out a recycled uop (or a fresh one if the pool is dry),
+// cleared except for its branch-checkpoint RSB buffer, which is retained so
+// Predictor.CheckpointInto never reallocates it.
+func (c *CPU) allocUOp() *uop {
+	var u *uop
+	if n := len(c.uopPool); n > 0 {
+		u = c.uopPool[n-1]
+		c.uopPool = c.uopPool[:n-1]
+		rsbBuf := u.bpCP
+		*u = uop{}
+		u.bpCP = rsbBuf.Recycle()
+	} else {
+		u = &uop{}
+	}
+	return u
+}
+
+// freeUOp returns a uop to the pool.  The caller guarantees no queue still
+// holds it; stale RAT/operand references are tolerated because they validate
+// seq before reading.  Result fields are deliberately NOT cleared here: a
+// consumer that captured this producer before it committed may still poll it
+// until the next reuse, and must observe the final result.
+func (c *CPU) freeUOp(u *uop) {
+	if u.ratCP != nil {
+		c.ratPool = append(c.ratPool, u.ratCP)
+		u.ratCP = nil
+	}
+	c.uopPool = append(c.uopPool, u)
+}
+
+// snapshotRAT copies the current RAT into a pooled checkpoint.
+func (c *CPU) snapshotRAT() *rat {
+	var cp *rat
+	if n := len(c.ratPool); n > 0 {
+		cp = c.ratPool[n-1]
+		c.ratPool = c.ratPool[:n-1]
+	} else {
+		cp = new(rat)
+	}
+	*cp = c.rat
+	return cp
+}

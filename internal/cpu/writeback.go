@@ -1,6 +1,6 @@
 package cpu
 
-import "sort"
+import "slices"
 
 // writebackPhase completes executed uops whose latency has elapsed, waking
 // dependants (by polling in issue) and resolving control flow.  The oldest
@@ -15,7 +15,7 @@ func (c *CPU) writebackPhase(now uint64) {
 	if len(c.inflight) == 0 {
 		return
 	}
-	sort.Slice(c.inflight, func(i, j int) bool { return c.inflight[i].seq < c.inflight[j].seq })
+	sortBySeq(c.inflight)
 	for _, u := range c.inflight {
 		if u.squashed {
 			continue
@@ -40,6 +40,18 @@ func (c *CPU) writebackPhase(now uint64) {
 	}
 	c.inflight = compact(c.inflight, func(u *uop) bool {
 		return !u.squashed && u.stage == stIssued
+	})
+}
+
+// sortBySeq orders uops oldest-first.  Seqs are unique, so the result is
+// the same total order sort.Slice produced; slices.SortFunc avoids the
+// reflect-based swapper allocation sort.Slice paid on every cycle.
+func sortBySeq(s []*uop) {
+	slices.SortFunc(s, func(a, b *uop) int {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
 	})
 }
 
@@ -81,7 +93,9 @@ func (c *CPU) recover(u *uop, now uint64) {
 
 // squashYounger marks every uop younger than seq as squashed and removes it
 // from the ROB.  Issue/load/store/in-flight queues drop marked entries when
-// their phase next compacts.
+// their phase next compacts; the end-of-step drain recycles the uops once
+// every queue has done so.  Fetch-buffer uops were never renamed — nothing
+// else can reference them — so they recycle immediately.
 func (c *CPU) squashYounger(seq uint64) {
 	n := 0
 	for c.rob.len() > 0 {
@@ -92,31 +106,46 @@ func (c *CPU) squashYounger(seq uint64) {
 		c.rob.popBack()
 		tail.squashed = true
 		c.releasePRF(tail)
+		c.deadNew = append(c.deadNew, tail)
 		n++
 	}
-	c.stats.Squashed += uint64(n + len(c.frontQ))
-	for _, u := range c.frontQ {
+	c.stats.Squashed += uint64(n + c.frontQ.len())
+	for c.frontQ.len() > 0 {
+		u := c.frontQ.popFront()
 		u.squashed = true
+		c.freeUOp(u)
 	}
-	c.frontQ = c.frontQ[:0]
 }
 
-// squashAll empties the whole pipeline (runahead exit).
+// squashAll empties the whole pipeline (runahead exit).  Every queue is
+// truncated synchronously — squashAll runs from step() with no phase
+// iteration in progress — so all pipeline uops recycle immediately,
+// including any still pending from earlier partial squashes.
 func (c *CPU) squashAll() {
 	for c.rob.len() > 0 {
 		u := c.rob.popBack()
 		u.squashed = true
 		c.stats.Squashed++
+		c.freeUOp(u)
 	}
-	c.stats.Squashed += uint64(len(c.frontQ))
-	for _, u := range c.frontQ {
+	c.stats.Squashed += uint64(c.frontQ.len())
+	for c.frontQ.len() > 0 {
+		u := c.frontQ.popFront()
 		u.squashed = true
+		c.freeUOp(u)
 	}
-	c.frontQ = c.frontQ[:0]
 	c.iq = c.iq[:0]
 	c.lq = c.lq[:0]
 	c.sq = c.sq[:0]
 	c.inflight = c.inflight[:0]
+	for _, u := range c.deadNew {
+		c.freeUOp(u)
+	}
+	c.deadNew = c.deadNew[:0]
+	for _, u := range c.deadOld {
+		c.freeUOp(u)
+	}
+	c.deadOld = c.deadOld[:0]
 	c.intPRFUsed, c.fpPRFUsed, c.vecPRFUsed = 0, 0, 0
 }
 

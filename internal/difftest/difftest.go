@@ -37,6 +37,7 @@ import (
 	"specrun/internal/iss"
 	"specrun/internal/mem"
 	"specrun/internal/proggen"
+	"specrun/internal/sweep"
 )
 
 // Execution budgets, matching the hand-written differential tests.
@@ -114,12 +115,48 @@ func destString(d isa.Reg) string {
 	return d.String()
 }
 
+// runnerCache is the per-worker simulator state a differential campaign
+// reuses across seeds: one reference interpreter, one pipeline machine per
+// configuration, and the record buffers.  Rebuilding these per (seed,
+// config) dominated campaign allocation — a full-matrix run is
+// seeds × configs machines, each carrying megabytes of cache arrays.
+// CheckSeed draws a cache from a pool bounded by the worker count, so a
+// campaign builds machines once per worker per configuration.
+type runnerCache struct {
+	ref  *iss.Interp
+	cpus map[string]*cacheEntry
+
+	refRecs  []record
+	pipeRecs []record
+}
+
+// cacheEntry guards reuse by value-comparing the full configuration: two
+// NamedConfigs may share a name (callers can hand-build them), and a name
+// collision must rebuild rather than silently simulate the wrong machine.
+type cacheEntry struct {
+	cfg cpu.Config
+	c   *cpu.CPU
+}
+
+var runnerCaches = sweep.NewLocal(func() *runnerCache {
+	return &runnerCache{cpus: make(map[string]*cacheEntry)}
+})
+
 // refStream executes prog on the reference interpreter, capturing one record
 // per instruction (the destination is read back after the step, so hardwired
 // zero-register semantics match the pipeline's committed state).
-func refStream(prog *asm.Program) ([]record, *iss.Interp, error) {
-	ref := iss.New(prog)
-	recs := make([]record, 0, 4096)
+func (rc *runnerCache) refStream(prog *asm.Program) ([]record, *iss.Interp, error) {
+	if rc.ref == nil {
+		rc.ref = iss.New(prog)
+	} else {
+		rc.ref.Reset(prog)
+	}
+	ref := rc.ref
+	if rc.refRecs == nil {
+		rc.refRecs = make([]record, 0, 4096)
+	}
+	recs := rc.refRecs[:0]
+	defer func() { rc.refRecs = recs[:0] }()
 	for ref.Steps < issBudget {
 		pc := ref.PC
 		in, ok := prog.InstAt(pc)
@@ -141,24 +178,48 @@ func refStream(prog *asm.Program) ([]record, *iss.Interp, error) {
 }
 
 // pipeStream runs prog on the pipeline under cfg, capturing the committed
-// instruction stream.
-func pipeStream(cfg cpu.Config, prog *asm.Program) ([]record, *cpu.CPU, error) {
-	c := cpu.New(cfg, prog)
-	recs := make([]record, 0, 4096)
+// instruction stream.  The machine for nc is reused across seeds via Reset;
+// a reused machine is byte-identical to a fresh one (pinned by the cpu
+// package's reset tests and this package's worker-invariance tests).
+//
+// The returned slice aliases the cache's reusable buffer and is valid only
+// until the next pipeStream call on the same cache (same contract as
+// refStream's result): CheckSeed consumes each stream before running the
+// next configuration; any caller that needs two streams at once must clone
+// the first.
+func (rc *runnerCache) pipeStream(nc NamedConfig, prog *asm.Program) ([]record, *cpu.CPU, error) {
+	e := rc.cpus[nc.Name]
+	if e == nil || e.cfg != nc.Config {
+		e = &cacheEntry{cfg: nc.Config, c: cpu.New(nc.Config, prog)}
+		rc.cpus[nc.Name] = e
+	} else {
+		e.c.Reset(prog)
+	}
+	c := e.c
+	if rc.pipeRecs == nil {
+		rc.pipeRecs = make([]record, 0, 4096)
+	}
+	recs := rc.pipeRecs[:0]
 	c.SetCommitHook(func(r cpu.CommitRecord) {
 		recs = append(recs, record{pc: r.PC, op: r.Op.Name(), dest: destString(r.Dest), v: r.Val, v2: r.Val2})
 	})
 	err := c.Run(cpuBudget)
+	c.SetCommitHook(nil)
+	rc.pipeRecs = recs[:0]
 	return recs, c, err
 }
 
 // CheckSeed generates the program for seed and compares the pipeline against
 // the reference under every configuration.  It never fails the process: all
-// violations come back as Divergences.
+// violations come back as Divergences.  Simulators are drawn from a pool of
+// per-worker caches and reused across calls (one machine per configuration
+// per concurrent caller, not one per seed).
 func CheckSeed(seed int64, opt proggen.Options, cfgs []NamedConfig) SeedResult {
+	rc := runnerCaches.Get()
+	defer runnerCaches.Put(rc)
 	prog := proggen.Generate(seed, opt)
 	res := SeedResult{Seed: seed}
-	issRecs, ref, err := refStream(prog)
+	issRecs, ref, err := rc.refStream(prog)
 	if err != nil {
 		res.Divergences = append(res.Divergences, Divergence{
 			Seed: seed, Config: "iss", Kind: KindRunError, Detail: err.Error(),
@@ -166,7 +227,7 @@ func CheckSeed(seed int64, opt proggen.Options, cfgs []NamedConfig) SeedResult {
 		return res
 	}
 	for _, nc := range cfgs {
-		recs, c, err := pipeStream(nc.Config, prog)
+		recs, c, err := rc.pipeStream(nc, prog)
 		diverge := func(kind, detail string) {
 			res.Divergences = append(res.Divergences, Divergence{
 				Seed: seed, Config: nc.Name, Kind: kind, Detail: detail,

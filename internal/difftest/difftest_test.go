@@ -70,13 +70,18 @@ func TestCleanSeeds(t *testing.T) {
 func TestRunaheadOffStreamEqualsBaseline(t *testing.T) {
 	off := point(runahead.KindNone, false, 256)
 	on := point(runahead.KindOriginal, false, 256)
+	rc := runnerCaches.Get()
+	defer runnerCaches.Put(rc)
 	for seed := int64(1); seed <= 4; seed++ {
 		prog := proggen.Generate(seed, proggen.DefaultOptions())
-		a, _, err := pipeStream(off.Config, prog)
+		aShared, _, err := rc.pipeStream(off, prog)
 		if err != nil {
 			t.Fatalf("seed %d %s: %v", seed, off.Name, err)
 		}
-		b, c, err := pipeStream(on.Config, prog)
+		// pipeStream reuses the cache's record buffer; clone before the next
+		// call overwrites it.
+		a := append([]record(nil), aShared...)
+		b, c, err := rc.pipeStream(on, prog)
 		if err != nil {
 			t.Fatalf("seed %d %s: %v", seed, on.Name, err)
 		}

@@ -41,6 +41,21 @@ func New(prog *asm.Program) *Interp {
 	return &Interp{Prog: prog, Mem: m, PC: prog.Base}
 }
 
+// Reset rewinds the interpreter to its just-constructed state and loads
+// prog, reusing the memory image's page allocations (campaign workers run
+// one interpreter per worker instead of one per seed).
+func (it *Interp) Reset(prog *asm.Program) {
+	it.Mem.Reset()
+	prog.LoadInto(it.Mem)
+	it.Prog = prog
+	it.PC = prog.Base
+	it.IntReg = [isa.NumIntRegs]uint64{}
+	it.FPReg = [isa.NumFPRegs]uint64{}
+	it.VecReg = [isa.NumVecRegs][2]uint64{}
+	it.Steps = 0
+	it.Halted = false
+}
+
 func (it *Interp) readReg(r isa.Reg) uint64 {
 	switch r.Class() {
 	case isa.ClassNone:

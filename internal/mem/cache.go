@@ -185,6 +185,15 @@ func (c *Cache) InvalidateAll() {
 	}
 }
 
+// Reset returns the cache to its just-constructed state: empty, with the LRU
+// clock and statistics cleared, so a reused machine behaves byte-identically
+// to a fresh one.
+func (c *Cache) Reset() {
+	c.InvalidateAll()
+	c.lruClock = 0
+	c.Stats = CacheStats{}
+}
+
 // Occupancy reports the number of valid lines in the set holding lineAddr
 // (for property tests: never exceeds associativity).
 func (c *Cache) Occupancy(lineAddr uint64) int {

@@ -129,7 +129,23 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		l1d: NewCache(cfg.L1D, cfg.LineSize),
 		l2:  NewCache(cfg.L2, cfg.LineSize),
 		l3:  NewCache(cfg.L3, cfg.LineSize),
+		// The outstanding-request window never exceeds MemMaxOutstanding
+		// live entries plus the one being appended; sizing it up front keeps
+		// memRequest allocation-free for the life of the hierarchy.
+		inflight: make([]uint64, 0, cfg.MemMaxOutstanding+1),
 	}
+}
+
+// Reset returns the hierarchy to its just-constructed state (machine reuse):
+// cold caches, an idle channel and zeroed statistics.
+func (h *Hierarchy) Reset() {
+	h.l1i.Reset()
+	h.l1d.Reset()
+	h.l2.Reset()
+	h.l3.Reset()
+	h.busFree = 0
+	h.inflight = h.inflight[:0]
+	h.Stats = HierarchyStats{}
 }
 
 // Config returns the hierarchy configuration.

@@ -22,6 +22,7 @@ type page [pageSize]byte
 // CPU's store queue and runahead stores in the RunaheadCache.
 type Memory struct {
 	pages map[uint64]*page
+	pool  []*page // zeroed pages released by Reset, reused by pageFor
 }
 
 // NewMemory returns an empty memory image.  Unwritten bytes read as zero.
@@ -29,11 +30,27 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
+// Reset empties the image for machine reuse.  Allocated pages move to a free
+// list (zeroed), so a reused machine touching a similar footprint allocates
+// nothing.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = page{}
+		m.pool = append(m.pool, p)
+	}
+	clear(m.pages)
+}
+
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	base := addr &^ (pageSize - 1)
 	p := m.pages[base]
 	if p == nil && create {
-		p = new(page)
+		if n := len(m.pool); n > 0 {
+			p = m.pool[n-1]
+			m.pool = m.pool[:n-1]
+		} else {
+			p = new(page)
+		}
 		m.pages[base] = p
 	}
 	return p

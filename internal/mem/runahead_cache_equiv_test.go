@@ -1,0 +1,137 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refRACache is the previous map+order-slice implementation, kept here as an
+// executable specification: the open-addressed rewrite must be
+// observationally identical (same bytes present, same INV bits, same FIFO
+// eviction victims), because eviction decisions feed runahead load results
+// and therefore cycle-level timing.
+type refRACache struct {
+	cap   int
+	data  map[uint64]raByte
+	order []uint64
+}
+
+type raByte struct {
+	b   byte
+	inv bool
+}
+
+func newRefRACache(capBytes int) *refRACache {
+	return &refRACache{cap: capBytes, data: make(map[uint64]raByte, capBytes)}
+}
+
+func (rc *refRACache) Write(addr uint64, size int, v uint64, inv bool) {
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		if _, ok := rc.data[a]; !ok {
+			if len(rc.data) >= rc.cap {
+				victim := rc.order[0]
+				rc.order = rc.order[1:]
+				delete(rc.data, victim)
+			}
+			rc.order = append(rc.order, a)
+		}
+		rc.data[a] = raByte{b: byte(v >> (8 * i)), inv: inv}
+	}
+}
+
+func (rc *refRACache) Read(addr uint64, size int) (v uint64, present, inv bool) {
+	present = true
+	for i := 0; i < size; i++ {
+		e, ok := rc.data[addr+uint64(i)]
+		if !ok {
+			return 0, false, false
+		}
+		v |= uint64(e.b) << (8 * i)
+		inv = inv || e.inv
+	}
+	return v, present, inv
+}
+
+func (rc *refRACache) Covers(addr uint64, size int) bool {
+	for i := 0; i < size; i++ {
+		if _, ok := rc.data[addr+uint64(i)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (rc *refRACache) Clear() {
+	clear(rc.data)
+	rc.order = rc.order[:0]
+}
+
+// TestRunaheadCacheMatchesReference drives the rewrite and the reference
+// model with the same randomised operation stream and requires identical
+// observable behaviour, including across capacity-overflow eviction and
+// episode Clears.
+func TestRunaheadCacheMatchesReference(t *testing.T) {
+	for _, capBytes := range []int{16, 64, 512} {
+		rng := rand.New(rand.NewSource(int64(capBytes)))
+		got := NewRunaheadCache(capBytes)
+		want := newRefRACache(capBytes)
+		// Addresses cluster in a window ~4× capacity so overlap, overwrite
+		// and eviction all happen constantly.
+		addrSpan := uint64(4 * capBytes)
+		for op := 0; op < 50_000; op++ {
+			addr := 0x8000 + rng.Uint64()%addrSpan
+			size := []int{1, 2, 4, 8}[rng.Intn(4)]
+			switch rng.Intn(10) {
+			case 0: // episode boundary
+				got.Clear()
+				want.Clear()
+			case 1, 2, 3: // pseudo-retired store
+				v := rng.Uint64()
+				inv := rng.Intn(8) == 0
+				got.Write(addr, size, v, inv)
+				want.Write(addr, size, v, inv)
+			default: // runahead load
+				if gc, wc := got.Covers(addr, size), want.Covers(addr, size); gc != wc {
+					t.Fatalf("cap %d op %d: Covers(%#x,%d) = %v, reference %v", capBytes, op, addr, size, gc, wc)
+				}
+				gv, gp, gi := got.Read(addr, size)
+				wv, wp, wi := want.Read(addr, size)
+				if gv != wv || gp != wp || gi != wi {
+					t.Fatalf("cap %d op %d: Read(%#x,%d) = (%#x,%v,%v), reference (%#x,%v,%v)",
+						capBytes, op, addr, size, gv, gp, gi, wv, wp, wi)
+				}
+			}
+			if got.Len() != len(want.data) {
+				t.Fatalf("cap %d op %d: Len %d, reference %d", capBytes, op, got.Len(), len(want.data))
+			}
+		}
+	}
+}
+
+// TestRunaheadCacheBoundedUnderChurn pins the satellite leak fix: the
+// previous implementation's eviction (`order = order[1:]` plus append) let
+// the order slice's backing array grow without bound over a long run.  The
+// rewrite holds every internal array at its constructed size no matter how
+// many writes stream through.
+func TestRunaheadCacheBoundedUnderChurn(t *testing.T) {
+	rc := NewRunaheadCache(512)
+	slots, order := len(rc.slots), len(rc.order)
+	for i := 0; i < 1_000_000; i++ {
+		rc.Write(uint64(i)*8, 8, uint64(i), false)
+	}
+	if rc.Len() != 512 {
+		t.Fatalf("Len = %d, want the 512-byte hardware budget", rc.Len())
+	}
+	if len(rc.slots) != slots || cap(rc.order) != order {
+		t.Fatalf("internal arrays grew under churn: slots %d→%d, order cap %d→%d",
+			slots, len(rc.slots), order, cap(rc.order))
+	}
+	// FIFO semantics: only the newest 512 bytes survive.
+	if _, present, _ := rc.Read(0, 8); present {
+		t.Fatal("oldest write still present after 1M-write churn")
+	}
+	if v, present, _ := rc.Read(uint64(999_999)*8, 8); !present || v != 999_999 {
+		t.Fatalf("newest write lost: present=%v v=%d", present, v)
+	}
+}

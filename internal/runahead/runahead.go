@@ -111,6 +111,13 @@ func NewRDT() *RDT {
 	return &RDT{slice: make(map[uint64]bool), lastWriter: make(map[isa.Reg]uint64)}
 }
 
+// Reset empties the table (machine reuse).  The map storage is retained, so
+// re-learning a program of similar shape allocates nothing.
+func (r *RDT) Reset() {
+	clear(r.slice)
+	clear(r.lastWriter)
+}
+
 // InSlice reports whether the instruction at pc belongs to a stall slice.
 func (r *RDT) InSlice(pc uint64) bool { return r.slice[pc] }
 
@@ -147,9 +154,11 @@ func (r *RDT) markProducer(reg isa.Reg) {
 	}
 }
 
-// StrideDetector learns per-PC load strides for Vector Runahead.
+// StrideDetector learns per-PC load strides for Vector Runahead.  Entries
+// are stored by value so that Reset (which clears the map but keeps its
+// buckets) makes re-learning allocation-free.
 type StrideDetector struct {
-	m map[uint64]*strideEntry
+	m map[uint64]strideEntry
 }
 
 type strideEntry struct {
@@ -160,7 +169,12 @@ type strideEntry struct {
 
 // NewStrideDetector returns an empty detector.
 func NewStrideDetector() *StrideDetector {
-	return &StrideDetector{m: make(map[uint64]*strideEntry)}
+	return &StrideDetector{m: make(map[uint64]strideEntry)}
+}
+
+// Reset empties the detector (machine reuse), retaining map storage.
+func (d *StrideDetector) Reset() {
+	clear(d.m)
 }
 
 // confThreshold is the number of consecutive identical strides required
@@ -169,9 +183,9 @@ const confThreshold = 2
 
 // Observe records a committed load's effective address.
 func (d *StrideDetector) Observe(pc, addr uint64) {
-	e := d.m[pc]
-	if e == nil {
-		d.m[pc] = &strideEntry{lastAddr: addr}
+	e, ok := d.m[pc]
+	if !ok {
+		d.m[pc] = strideEntry{lastAddr: addr}
 		return
 	}
 	s := int64(addr - e.lastAddr)
@@ -184,12 +198,13 @@ func (d *StrideDetector) Observe(pc, addr uint64) {
 		e.conf = 0
 	}
 	e.lastAddr = addr
+	d.m[pc] = e
 }
 
 // Predict returns the learned stride for pc if confident.
 func (d *StrideDetector) Predict(pc uint64) (stride int64, ok bool) {
-	e := d.m[pc]
-	if e == nil || e.conf < confThreshold || e.stride == 0 {
+	e, present := d.m[pc]
+	if !present || e.conf < confThreshold || e.stride == 0 {
 		return 0, false
 	}
 	return e.stride, true

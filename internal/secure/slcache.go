@@ -16,6 +16,9 @@ type SLCache struct {
 	cap     int
 	entries map[uint64]*SLEntry
 	order   []uint64
+	pool    []*SLEntry // freed entries, reused by Install
+
+	victims []uint64 // scratch for DeleteRelated/PurgeUntagged
 
 	Stats SLStats
 }
@@ -62,15 +65,32 @@ func (c *SLCache) Install(line, fillDone uint64) *SLEntry {
 		return e
 	}
 	if len(c.entries) >= c.cap {
+		// Shift-truncate rather than reslice: order must keep its backing
+		// array, or a long run of evictions grows it without bound.
 		victim := c.order[0]
-		c.order = c.order[1:]
+		copy(c.order, c.order[1:])
+		c.order = c.order[:len(c.order)-1]
+		if e := c.entries[victim]; e != nil {
+			c.pool = append(c.pool, e)
+		}
 		delete(c.entries, victim)
 	}
-	e := &SLEntry{Line: line, FillDone: fillDone}
+	e := c.newEntry(line, fillDone)
 	c.entries[line] = e
 	c.order = append(c.order, line)
 	c.Stats.Installs++
 	return e
+}
+
+// newEntry reuses a pooled entry if one is free.
+func (c *SLCache) newEntry(line, fillDone uint64) *SLEntry {
+	if n := len(c.pool); n > 0 {
+		e := c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		*e = SLEntry{Line: line, FillDone: fillDone}
+		return e
+	}
+	return &SLEntry{Line: line, FillDone: fillDone}
 }
 
 // Tag attaches the taint-tracking verdict to a buffered line at
@@ -99,10 +119,12 @@ func (c *SLCache) Lookup(line uint64) (*SLEntry, bool) {
 
 // Remove deletes a single line (after promotion into L1, or on CLFLUSH).
 func (c *SLCache) Remove(line uint64) {
-	if _, ok := c.entries[line]; !ok {
+	e, ok := c.entries[line]
+	if !ok {
 		return
 	}
 	delete(c.entries, line)
+	c.pool = append(c.pool, e)
 	for i, l := range c.order {
 		if l == line {
 			c.order = append(c.order[:i], c.order[i+1:]...)
@@ -122,7 +144,7 @@ func (c *SLCache) Promote(line uint64) {
 // inner predicate is supplied by the episode's Tracker.  It returns the
 // number of entries deleted (the paper's d, which decrements C).
 func (c *SLCache) DeleteRelated(n int, inner func(m, n int) bool) int {
-	var victims []uint64
+	victims := c.victims[:0]
 	for line, e := range c.entries {
 		if c.relatedTo(e, n, inner) {
 			victims = append(victims, line)
@@ -132,6 +154,7 @@ func (c *SLCache) DeleteRelated(n int, inner func(m, n int) bool) int {
 		c.Remove(line)
 		c.Stats.Deleted++
 	}
+	c.victims = victims[:0]
 	return len(victims)
 }
 
@@ -157,7 +180,7 @@ func (c *SLCache) relatedTo(e *SLEntry, n int, inner func(m, n int) bool) bool {
 // residue inside the runahead episode).  Called on runahead exit; the
 // conservative choice is to treat them as unsafe.
 func (c *SLCache) PurgeUntagged() int {
-	var victims []uint64
+	victims := c.victims[:0]
 	for line, e := range c.entries {
 		if !e.Tagged {
 			victims = append(victims, line)
@@ -167,13 +190,23 @@ func (c *SLCache) PurgeUntagged() int {
 		c.Remove(line)
 		c.Stats.Purged++
 	}
+	c.victims = victims[:0]
 	return len(victims)
 }
 
 // Clear empties the cache (new runahead episode).
 func (c *SLCache) Clear() {
+	for _, e := range c.entries {
+		c.pool = append(c.pool, e)
+	}
 	clear(c.entries)
 	c.order = c.order[:0]
+}
+
+// Reset returns the cache to its just-constructed state (machine reuse).
+func (c *SLCache) Reset() {
+	c.Clear()
+	c.Stats = SLStats{}
 }
 
 // Lines lists buffered line addresses (tests).

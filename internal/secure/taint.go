@@ -7,7 +7,7 @@ package secure
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -92,6 +92,8 @@ type Tracker struct {
 	open     []*Scope // innermost last
 	regTaint map[uint16]TaintSet
 	uslCount map[int]int
+	pool     []*Scope // scopes freed by Reset, reused by RegisterBranch
+	sorted   []*Scope // scratch for Scopes()
 }
 
 // NewTracker returns a tracker for a fresh runahead episode.
@@ -101,6 +103,21 @@ func NewTracker() *Tracker {
 		regTaint: make(map[uint16]TaintSet),
 		uslCount: make(map[int]int),
 	}
+}
+
+// Reset returns the tracker to its just-constructed state.  The CPU calls it
+// at every runahead-episode entry instead of building a fresh tracker; map
+// buckets and scope structs are retained, so an episode allocates only when
+// it opens more scopes than any episode before it.
+func (t *Tracker) Reset() {
+	t.nextN = 0
+	for _, s := range t.scopes {
+		t.pool = append(t.pool, s)
+	}
+	clear(t.scopes)
+	t.open = t.open[:0]
+	clear(t.regTaint)
+	clear(t.uslCount)
 }
 
 // Observe must be called with the PC of every pseudo-retired instruction
@@ -138,7 +155,14 @@ func (t *Tracker) RegisterBranch(pc, end uint64, predTaken bool, predRegs ...uin
 	if len(t.open) > 0 {
 		parent = t.open[len(t.open)-1].N
 	}
-	s := &Scope{N: n, Start: pc, End: end, PredTaken: predTaken, Parent: parent}
+	var s *Scope
+	if l := len(t.pool); l > 0 {
+		s = t.pool[l-1]
+		t.pool = t.pool[:l-1]
+		*s = Scope{N: n, Start: pc, End: end, PredTaken: predTaken, Parent: parent}
+	} else {
+		s = &Scope{N: n, Start: pc, End: end, PredTaken: predTaken, Parent: parent}
+	}
 	t.scopes[n] = s
 	t.open = append(t.open, s)
 	return n
@@ -187,13 +211,16 @@ func (t *Tracker) OnLoad(pc uint64, addrTaint TaintSet) (Btag, TaintSet) {
 	return tag, addrTaint
 }
 
-// Scopes returns all scopes opened during the episode, ordered by id.
+// Scopes returns all scopes opened during the episode, ordered by id.  The
+// returned slice is reused by the next call (the CPU consumes it within one
+// commit step).
 func (t *Tracker) Scopes() []*Scope {
-	out := make([]*Scope, 0, len(t.scopes))
+	out := t.sorted[:0]
 	for _, s := range t.scopes {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].N < out[j].N })
+	slices.SortFunc(out, func(a, b *Scope) int { return a.N - b.N })
+	t.sorted = out
 	return out
 }
 

@@ -14,3 +14,6 @@ func Encode(v any) ([]byte, error) {
 	}
 	return append(b, '\n'), nil
 }
+
+// Decode parses a document produced by [Encode] back into v.
+func Decode(data []byte, v any) error { return json.Unmarshal(data, v) }

@@ -173,11 +173,10 @@ func sweepIPC(ctx context.Context, points []sweep.Point, secure bool, opt sweep.
 		if err != nil {
 			return nil, err
 		}
-		m, err := core.RunProgram(cfg, k.Build())
+		st, err := core.RunProgramStats(cfg, k.Build())
 		if err != nil {
 			return nil, err
 		}
-		st := m.Stats()
 		return map[string]any{
 			"cycles":   st.Cycles,
 			"insts":    st.Committed,
