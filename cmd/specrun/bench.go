@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 
@@ -152,8 +153,43 @@ func runBench(args []string) error {
 	noSim := fs.Bool("no-sim", false, "skip the simulator-throughput benchmark (sim section)")
 	gatePath := fs.String("gate", "", "baseline BENCH json; exit nonzero on performance regression against it")
 	tol := fs.Float64("tolerance", 0.10, "relative regression tolerated by --gate")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark section to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (taken after the benchmarks) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Profiling covers exactly the benchmark work below; the files are
+	// written once the timed section ends, so profile collection never
+	// perturbs the emitted metrics document.  The memprofile defer is
+	// registered first so that (LIFO) the CPU profile stops before the
+	// heap-profile GC and serialization run — they must not appear as a
+	// tail in the CPU samples.
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("bench: cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("bench: cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	ctx := context.Background()

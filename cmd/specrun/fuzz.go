@@ -30,6 +30,7 @@ func runFuzz(args []string) error {
 	duration := fs.Duration("duration", 0, "keep fuzzing fresh seed rounds until this wall-clock budget is spent")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	noShrink := fs.Bool("no-shrink", false, "report divergences without minimizing them")
+	interleave := fs.Bool("interleave", false, "cross-run state-leak hunt: run A, B, A' on one reused machine and require A == A'")
 	jsonOut := fs.Bool("json", false, "emit the campaign report as canonical JSON (matches POST /v1/run/fuzz)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -37,10 +38,11 @@ func runFuzz(args []string) error {
 	}
 
 	spec := difftest.CampaignSpec{
-		Seeds:    *seeds,
-		SeedBase: *base,
-		Len:      *bodyLen,
-		NoShrink: *noShrink,
+		Seeds:      *seeds,
+		SeedBase:   *base,
+		Len:        *bodyLen,
+		NoShrink:   *noShrink,
+		Interleave: *interleave,
 	}
 	if *matrix {
 		spec.Matrix = "full"

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -95,19 +96,77 @@ func RunProgram(cfg Config, prog *asm.Program) (*Machine, error) {
 // configuration's canonical JSON; at most one machine per worker per
 // configuration is live at a time, and idle machines are released under GC
 // pressure (sync.Pool semantics via sweep.Local).
-var machinePools sync.Map // string -> *sweep.Local[*Machine]
+//
+// The pool set itself is a bounded LRU over configurations: a long-lived
+// `specrun serve` answering grid sweeps can touch an unbounded number of
+// distinct configurations, and each pool holds up to one ~3 MB machine per
+// worker.  Evicting the least-recently-used configuration drops its
+// sweep.Local (the machines become garbage); the next request for that
+// configuration simply rebuilds.  PoolStats surfaces the counters on
+// GET /v1/stats.
+const machinePoolCap = 64
+
+type poolLRU struct {
+	mu        sync.Mutex
+	ll        *list.List // front = most recently used; values are *poolEntry
+	entries   map[string]*list.Element
+	evictions uint64
+}
+
+type poolEntry struct {
+	key   string
+	local *sweep.Local[*Machine]
+}
+
+var machinePools = poolLRU{
+	ll:      list.New(),
+	entries: make(map[string]*list.Element, machinePoolCap),
+}
+
+// get returns the pool for key, creating (and possibly evicting) as needed.
+func (l *poolLRU) get(key string) *sweep.Local[*Machine] {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[key]; ok {
+		l.ll.MoveToFront(el)
+		return el.Value.(*poolEntry).local
+	}
+	if len(l.entries) >= machinePoolCap {
+		victim := l.ll.Back()
+		l.ll.Remove(victim)
+		delete(l.entries, victim.Value.(*poolEntry).key)
+		l.evictions++
+	}
+	e := &poolEntry{key: key, local: sweep.NewLocal(func() *Machine { return nil })}
+	l.entries[key] = l.ll.PushFront(e)
+	return e.local
+}
+
+// PoolStats reports the machine-pool LRU state.
+type PoolStats struct {
+	Configs   int    `json:"configs"`   // configurations with a live pool
+	Capacity  int    `json:"capacity"`  // LRU bound
+	Evictions uint64 `json:"evictions"` // configurations dropped since process start
+}
+
+// MachinePoolStats returns the current machine-pool counters (served on
+// GET /v1/stats).
+func MachinePoolStats() PoolStats {
+	machinePools.mu.Lock()
+	defer machinePools.mu.Unlock()
+	return PoolStats{
+		Configs:   len(machinePools.entries),
+		Capacity:  machinePoolCap,
+		Evictions: machinePools.evictions,
+	}
+}
 
 func poolFor(cfg Config) *sweep.Local[*Machine] {
 	key, err := json.Marshal(cfg)
 	if err != nil {
 		return nil // unkeyable config (cannot happen for real Config values)
 	}
-	if p, ok := machinePools.Load(string(key)); ok {
-		return p.(*sweep.Local[*Machine])
-	}
-	p, _ := machinePools.LoadOrStore(string(key),
-		sweep.NewLocal(func() *Machine { return nil }))
-	return p.(*sweep.Local[*Machine])
+	return machinePools.get(string(key))
 }
 
 // RunProgramStats executes prog to completion on a pooled machine and

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"specrun/internal/workload"
+)
+
+// The machine-pool LRU must evict the least-recently-used configuration
+// once more than machinePoolCap distinct configurations have live pools,
+// and count every eviction.
+func TestMachinePoolEviction(t *testing.T) {
+	prog := workload.Kernels()[0].Build()
+	before := MachinePoolStats()
+
+	// Touch more distinct configurations than the LRU holds.  Vary a field
+	// that changes the canonical key but keeps simulations cheap.
+	n := machinePoolCap + 8
+	var firstKeyCfg Config
+	for i := 0; i < n; i++ {
+		cfg := BaselineConfig()
+		cfg.FrontQ = 16 + i
+		if i == 0 {
+			firstKeyCfg = cfg
+		}
+		if _, err := RunProgramStats(cfg, prog); err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+	}
+
+	after := MachinePoolStats()
+	if after.Configs > machinePoolCap {
+		t.Fatalf("live configs %d exceed the cap %d", after.Configs, machinePoolCap)
+	}
+	if gained := after.Evictions - before.Evictions; gained < uint64(n-machinePoolCap) {
+		t.Fatalf("evictions grew by %d, want >= %d", gained, n-machinePoolCap)
+	}
+	if after.Capacity != machinePoolCap {
+		t.Fatalf("capacity = %d, want %d", after.Capacity, machinePoolCap)
+	}
+
+	// The evicted configuration still simulates correctly on a rebuilt pool,
+	// and results are identical to the pre-eviction run.
+	st1, err := RunProgramStats(firstKeyCfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := RunProgramStats(firstKeyCfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cycles != st2.Cycles || st1.Committed != st2.Committed {
+		t.Fatalf("rebuilt pool diverges: %+v vs %+v", st1, st2)
+	}
+}
+
+// Repeated touches of one configuration must not evict anything.
+func TestMachinePoolStableUnderReuse(t *testing.T) {
+	prog := workload.Kernels()[0].Build()
+	cfg := BaselineConfig()
+	before := MachinePoolStats().Evictions
+	for i := 0; i < 5; i++ {
+		if _, err := RunProgramStats(cfg, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := MachinePoolStats().Evictions; after != before {
+		t.Fatalf("reusing one configuration evicted %d pools", after-before)
+	}
+}

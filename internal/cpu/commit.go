@@ -95,20 +95,38 @@ func (c *CPU) trackStallWindow(now uint64) {
 }
 
 func (c *CPU) removeFromLSQ(u *uop) {
-	if u.isLoad() {
-		for i, x := range c.lq {
-			if x == u {
-				c.lq = append(c.lq[:i], c.lq[i+1:]...)
-				break
+	if c.pollSched {
+		if u.isLoad() {
+			for i, x := range c.lq {
+				if x == u {
+					c.lq = append(c.lq[:i], c.lq[i+1:]...)
+					break
+				}
 			}
 		}
+		if u.isStore() {
+			for i, x := range c.sq {
+				if x == u {
+					c.sq = append(c.sq[:i], c.sq[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if u.isLoad() {
+		c.lqUsed--
 	}
 	if u.isStore() {
-		for i, x := range c.sq {
-			if x == u {
-				c.sq = append(c.sq[:i], c.sq[i+1:]...)
-				break
-			}
+		// In-order retirement: the committing store is the oldest live store,
+		// i.e. the front of the age-ordered ring.
+		st := c.sqr.popFront()
+		if st != u {
+			panic("cpu: committing store is not the store-queue front")
+		}
+		c.sqUnlink(st)
+		if st.seq == c.sqUnknown {
+			c.recomputeSQUnknown()
 		}
 	}
 }
@@ -320,10 +338,16 @@ func (c *CPU) enterRunahead(stalling *uop, now uint64) {
 	}
 
 	// The stalling load pseudo-retires immediately with an INV result; its
-	// in-flight fill request keeps running and defines the exit time.
+	// in-flight fill request keeps running and defines the exit time.  It
+	// completes here rather than in writeback, so it wakes its dependants
+	// itself (they observe the poisoned value this same cycle, exactly when
+	// the polling scheduler's consumers would see stDone).
 	c.poisonSlowLoad(stalling, now)
 	stalling.stage = stDone
 	stalling.doneAt = now
+	if !c.pollSched {
+		c.wakeWaiters(stalling, now)
+	}
 
 	// Every other in-flight load still waiting on a distant fill is poisoned
 	// the same way (Mutlu et al.: instructions dependent on outstanding

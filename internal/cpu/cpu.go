@@ -235,12 +235,26 @@ type CPU struct {
 	lastFetchLine   uint64
 	frontQ          *uopRing
 
-	// Back end.
+	// Back end.  The event-driven scheduler (sched.go, the default) selects
+	// from the age-ordered ready/replay queues and tracks IQ/LQ occupancy as
+	// counters; the polling reference (sched_poll.go) keeps the iq/lq/sq
+	// slices it rescans every cycle.  Both share the ROB and in-flight list.
 	rob      *uopRing
-	iq       []*uop
-	lq       []*uop
-	sq       []*uop
-	inflight []*uop
+	inflight []*uop // issued, awaiting completion; age-ordered under the event scheduler
+
+	ready        []*uop // operand-ready uops awaiting select, age-ordered
+	replay       []*uop // ready uops blocked on a non-operand condition (uop.replayWhy)
+	readyScratch []*uop // merge buffer for mergeReplay
+	iqUsed       int
+	lqUsed       int
+	sqr          *uopRing           // live stores in age order (front oldest)
+	sqLineIdx    map[uint64]*sqNode // line addr -> chain of stores writing it
+	sqUnknown    uint64             // seq of the oldest store with an unknown address (0 = none)
+
+	pollSched bool   // use the polling reference scheduler (differential tests)
+	iq        []*uop // polling reference only; allocated by SetPollingReference
+	lq        []*uop
+	sq        []*uop
 
 	// uop recycling (see the uop type for the safety argument).  deadNew and
 	// deadOld hold squashed uops that the lazily-compacted queues may still
@@ -248,6 +262,7 @@ type CPU struct {
 	// step T+1, so the end-of-step drain frees deadOld and rotates the lists.
 	uopPool          []*uop
 	ratPool          []*rat
+	wchunkPool       []*waiterChunk
 	deadNew, deadOld []*uop
 
 	// Rename resources in use.
@@ -284,25 +299,27 @@ func New(cfg Config, prog *asm.Program) *CPU {
 	m := mem.NewMemory()
 	prog.LoadInto(m)
 	c := &CPU{
-		cfg:        cfg,
-		prog:       prog,
-		memImg:     m,
-		hier:       mem.NewHierarchy(cfg.Mem),
-		bp:         branch.New(cfg.Branch),
-		raCache:    mem.NewRunaheadCache(cfg.Runahead.RunaheadCacheBytes),
-		rdt:        runahead.NewRDT(),
-		strides:    runahead.NewStrideDetector(),
-		sl:         secure.NewSLCache(cfg.Secure.SLEntries),
-		scopeEpoch: 1,
-		fetchPC:    prog.Base,
-		frontQ:     newRing(cfg.FrontQ),
-		rob:        newRing(cfg.ROBSize),
-		iq:         make([]*uop, 0, cfg.IQSize),
-		lq:         make([]*uop, 0, cfg.LQSize),
-		sq:         make([]*uop, 0, cfg.SQSize),
-		inflight:   make([]*uop, 0, cfg.ROBSize),
-		divBusy:    make([]uint64, cfg.IntDiv),
-		fdivBusy:   make([]uint64, cfg.FPDiv),
+		cfg:          cfg,
+		prog:         prog,
+		memImg:       m,
+		hier:         mem.NewHierarchy(cfg.Mem),
+		bp:           branch.New(cfg.Branch),
+		raCache:      mem.NewRunaheadCache(cfg.Runahead.RunaheadCacheBytes),
+		rdt:          runahead.NewRDT(),
+		strides:      runahead.NewStrideDetector(),
+		sl:           secure.NewSLCache(cfg.Secure.SLEntries),
+		scopeEpoch:   1,
+		fetchPC:      prog.Base,
+		frontQ:       newRing(cfg.FrontQ),
+		rob:          newRing(cfg.ROBSize),
+		inflight:     make([]*uop, 0, cfg.ROBSize),
+		ready:        make([]*uop, 0, cfg.IQSize),
+		replay:       make([]*uop, 0, cfg.IQSize),
+		readyScratch: make([]*uop, 0, cfg.IQSize),
+		sqr:          newRing(cfg.SQSize),
+		sqLineIdx:    make(map[uint64]*sqNode, 2*cfg.SQSize),
+		divBusy:      make([]uint64, cfg.IntDiv),
+		fdivBusy:     make([]uint64, cfg.FPDiv),
 	}
 	// Seed the uop pool from one slab: enough for a full window plus the
 	// fetch buffer and one squash generation in flight.  The pool still
@@ -323,7 +340,12 @@ func New(cfg Config, prog *asm.Program) *CPU {
 // rely on it to run one machine per worker instead of one per job.
 // Installed observers (SetTracer, SetCommitHook, debug hooks) are kept.
 func (c *CPU) Reset(prog *asm.Program) {
-	// Drain the pipeline back into the pool.
+	// Drain the pipeline back into the pool (stores leave the
+	// disambiguation index first, while their chain nodes are still live).
+	for c.sqr.len() > 0 {
+		c.sqUnlink(c.sqr.popFront())
+	}
+	c.sqUnknown = 0
 	for c.rob.len() > 0 {
 		c.freeUOp(c.rob.popBack())
 	}
@@ -342,6 +364,9 @@ func (c *CPU) Reset(prog *asm.Program) {
 	c.lq = c.lq[:0]
 	c.sq = c.sq[:0]
 	c.inflight = c.inflight[:0]
+	c.ready = c.ready[:0]
+	c.replay = c.replay[:0]
+	c.iqUsed, c.lqUsed = 0, 0
 
 	c.prog = prog
 	c.memImg.Reset()

@@ -47,13 +47,13 @@ func (c *CPU) dispatchPhase(now uint64) {
 		}
 
 		needIQ := !(k == isa.KindNop || k == isa.KindFence || k == isa.KindHalt)
-		if needIQ && len(c.iq) >= c.cfg.IQSize {
+		if needIQ && c.iqLen() >= c.cfg.IQSize {
 			return
 		}
-		if u.isLoad() && len(c.lq) >= c.cfg.LQSize {
+		if u.isLoad() && c.lqLen() >= c.cfg.LQSize {
 			return
 		}
-		if u.isStore() && len(c.sq) >= c.cfg.SQSize {
+		if u.isStore() && c.sqLen() >= c.cfg.SQSize {
 			return
 		}
 		if !c.claimPRF(u) {
@@ -69,29 +69,75 @@ func (c *CPU) dispatchPhase(now uint64) {
 			c.ra.maxSeq = u.seq
 		}
 		if needIQ {
-			c.iq = append(c.iq, u)
+			if c.pollSched {
+				c.iq = append(c.iq, u)
+			} else {
+				u.inIQ = true
+				c.iqUsed++
+				if u.pendIssue == 0 {
+					c.readyPush(u) // all issue-gating operands captured at rename
+				}
+			}
 		} else {
 			// NOP / FENCE / HALT complete without backend resources.
 			u.stage = stDone
 			u.doneAt = now
 		}
 		if u.isLoad() {
-			c.lq = append(c.lq, u)
+			if c.pollSched {
+				c.lq = append(c.lq, u)
+			} else {
+				c.lqUsed++
+			}
 		}
 		if u.isStore() {
-			c.sq = append(c.sq, u)
+			if c.pollSched {
+				c.sq = append(c.sq, u)
+			} else {
+				c.sqr.push(u)
+				if c.sqUnknown == 0 {
+					c.sqUnknown = u.seq // youngest store; watermark keeps the oldest
+				}
+			}
 		}
 	}
 }
 
+// iqLen/lqLen/sqLen report backend queue occupancy under whichever scheduler
+// is active (the event-driven one tracks counts; the polling reference keeps
+// the queues as slices).
+func (c *CPU) iqLen() int {
+	if c.pollSched {
+		return len(c.iq)
+	}
+	return c.iqUsed
+}
+
+func (c *CPU) lqLen() int {
+	if c.pollSched {
+		return len(c.lq)
+	}
+	return c.lqUsed
+}
+
+func (c *CPU) sqLen() int {
+	if c.pollSched {
+		return len(c.sq)
+	}
+	return c.sqr.len()
+}
+
 // rename captures ready source values (from the architectural state or
-// completed producers) and records in-flight producers otherwise; it then
-// claims the destination mapping and, for control instructions, snapshots
-// the RAT for recovery.
+// completed producers) and records in-flight producers otherwise — under
+// the event-driven scheduler, registering on each in-flight producer's
+// waiter list so completion pushes the value here instead of this uop
+// polling for it.  It then claims the destination mapping and, for control
+// instructions, snapshots the RAT for recovery.
 func (c *CPU) rename(u *uop) {
 	var srcbuf [4]isa.Reg
 	srcs := u.inst.SrcRegs(srcbuf[:0])
 	u.nsrc = len(srcs)
+	isStoreKind := u.inst.Op.Kind() == isa.KindStore
 	for i, r := range srcs {
 		o := &u.srcs[i]
 		o.reg = r
@@ -102,6 +148,14 @@ func (c *CPU) rename(u *uop) {
 			} else {
 				o.producer = p
 				o.prodSeq = p.seq
+				if !c.pollSched {
+					c.addWaiter(p, u, int8(i))
+					// A store's data operand (always last) does not gate
+					// issue: the STA half issues on address operands alone.
+					if !(isStoreKind && i == u.nsrc-1) {
+						u.pendIssue++
+					}
+				}
 			}
 			continue
 		}

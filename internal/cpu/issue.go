@@ -6,54 +6,6 @@ import (
 	"specrun/internal/runahead"
 )
 
-// issuePhase selects up to IssueWidth ready uops, oldest first, subject to
-// functional-unit availability, and executes them (computing results and
-// completion times; memory operations access the timing hierarchy here, so
-// wrong-path and runahead loads leave real cache state behind).
-func (c *CPU) issuePhase(now uint64) {
-	for i := range c.fuUsed {
-		c.fuUsed[i] = 0
-	}
-	c.iq = dropSquashed(c.iq)
-	c.lq = dropSquashed(c.lq)
-	c.sq = dropSquashed(c.sq)
-	issued := 0
-	for idx := 0; idx < len(c.iq) && issued < c.cfg.IssueWidth; idx++ {
-		u := c.iq[idx]
-		if u.squashed { // may be marked mid-phase by an INV-branch barrier
-			continue
-		}
-		// Stores issue as soon as their address operands are ready (split
-		// store-address/store-data µops, as in real cores): younger loads
-		// can then disambiguate against them instead of serialising behind
-		// the store's data dependence.
-		if u.inst.Op.Kind() == isa.KindStore {
-			if !c.srcsReadyTo(u, u.nsrc-1) {
-				continue
-			}
-		} else if !c.srcsReady(u) {
-			continue
-		}
-		if u.inst.Op.IsSerializing() && c.rob.front() != u {
-			continue // RDTSC/FENCE execute at the ROB head only
-		}
-		fu := u.inst.Op.FU()
-		if !c.fuAvailable(fu, now) {
-			continue
-		}
-		if !c.execute(u, now) {
-			continue // memory-ordering or SL-cache gating: retry next cycle
-		}
-		c.consumeFU(fu, now, u.inst.Op)
-		u.stage = stIssued
-		c.inflight = append(c.inflight, u)
-		c.iq = append(c.iq[:idx], c.iq[idx+1:]...)
-		idx--
-		issued++
-		c.stats.Issued++
-	}
-}
-
 // srcsReady polls producers and captures values as they complete.
 func (c *CPU) srcsReady(u *uop) bool { return c.srcsReadyTo(u, u.nsrc) }
 
@@ -331,6 +283,7 @@ func (c *CPU) execLoad(u *uop, now uint64) bool {
 	fwd, blocked := c.scanSQ(u, size)
 	if blocked {
 		c.stats.LoadBlockedSQ++
+		u.replayWhy = replayMemOrd
 		return false
 	}
 	if fwd != nil {
@@ -389,6 +342,7 @@ func (c *CPU) execLoad(u *uop, now uint64) bool {
 	if c.mode == ModeNormal && c.slActive {
 		if done, ok := c.slLoadPath(u, line, now); ok {
 			if !done {
+				u.replayWhy = replaySLGate
 				return false // gated: retry after the branch resolves
 			}
 			c.loadValue(u, size, now, c.hier.Config().L1D.Latency)
@@ -488,40 +442,6 @@ func (c *CPU) finishRetTarget(u *uop, target uint64, inv bool, now uint64) {
 	}
 	u.actualTaken = true
 	u.actualTarget = target
-}
-
-// scanSQ checks all older stores for ordering hazards.  It returns the
-// youngest fully-covering older store for forwarding, or blocked=true if any
-// older store has an unknown address or partially overlaps.
-func (c *CPU) scanSQ(u *uop, size int) (fwd *uop, blocked bool) {
-	for _, st := range c.sq {
-		if st.seq >= u.seq {
-			break
-		}
-		if st.squashed {
-			continue
-		}
-		if !st.addrValid {
-			if st.stage == stDone && st.resINV {
-				continue // runahead INV-address store: never writes
-			}
-			return nil, true // address unknown: conservative stall
-		}
-		stSize := st.inst.Op.MemSize()
-		if st.addr+uint64(stSize) <= u.addr || u.addr+uint64(size) <= st.addr {
-			continue // no overlap
-		}
-		if st.addr <= u.addr && st.addr+uint64(stSize) >= u.addr+uint64(size) && size <= 8 && st.stage == stDone {
-			fwd = st // full cover, data ready: forward (youngest wins)
-			continue
-		}
-		if size == 16 && st.addr == u.addr && stSize == 16 && st.stage == stDone {
-			fwd = st
-			continue
-		}
-		return nil, true // partial overlap or data not ready: wait
-	}
-	return fwd, false
 }
 
 // slLoadPath implements the load arm of Algorithm 1.  Returns ok=false if

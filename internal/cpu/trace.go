@@ -31,6 +31,12 @@ func (c *CPU) SetCommitHook(fn func(CommitRecord)) { c.commitFn = fn }
 // at a fixed cycle interval.  It is the raw material for utilisation plots
 // (ROB occupancy over time makes runahead episodes visible as sawtooths:
 // the window drains at entry via pseudo-retirement and refills after exit).
+//
+// IQ/LQ/SQ report the active scheduler's own occupancy bookkeeping.  On the
+// cycle of a mid-issue-phase squash (the SkipINVBranch barrier) the
+// event-driven scheduler's eager teardown excludes the squashed uops one
+// cycle before the polling reference's lazily-compacted slices would —
+// a trace-only divergence; Stats and the commit stream are identical.
 type TraceSample struct {
 	Cycle         uint64
 	Mode          Mode
@@ -61,9 +67,9 @@ func (c *CPU) traceTick() {
 		Cycle:         c.cycle,
 		Mode:          c.mode,
 		ROB:           c.rob.len(),
-		IQ:            len(c.iq),
-		LQ:            len(c.lq),
-		SQ:            len(c.sq),
+		IQ:            c.iqLen(),
+		LQ:            c.lqLen(),
+		SQ:            c.sqLen(),
 		FrontQ:        c.frontQ.len(),
 		IntPRFUsed:    c.intPRFUsed,
 		Committed:     c.stats.Committed,

@@ -71,6 +71,69 @@ type uop struct {
 	prfClaimed bool
 	raEpisode  uint64 // runahead episode the uop was fetched in (0 = normal mode)
 	scopeN     int    // secure mode: scope opened by this branch
+
+	// Event-driven scheduler state (see sched.go).  wHead/wTail chain the
+	// waiter chunks listing the consumers to wake when this uop's result
+	// becomes available; pendIssue counts the source operands still in
+	// flight that gate issue (for stores, address operands only — the data
+	// operand is tracked by its own waiter and captured by the STD wakeup).
+	// inIQ/inReady mirror queue membership so squash teardown can maintain
+	// the occupancy counters eagerly.
+	wHead, wTail *waiterChunk
+	pendIssue    int8
+	inIQ         bool
+	inReady      bool
+	replayWhy    uint8 // last replay condition (replay* below; tracing/debug)
+
+	// Store-queue disambiguation index state: one intrusive chain node per
+	// cache line the store touches (a store crossing a line boundary links
+	// into both lines' chains).
+	sqNodes  [2]sqNode
+	sqNLines int8
+	sqLinked bool
+}
+
+// Replay conditions: why an operand-ready uop failed to issue and went to
+// the replay queue.  Every condition is re-evaluated the next cycle — the
+// events that clear them (a store address or datum arriving, a branch
+// resolving, the ROB head advancing) can occur on any cycle, and the blocked
+// counters (LoadBlockedSQ, SLWaits) are defined per attempt, so skipping
+// cycles would change observable statistics.
+const (
+	replayNone    uint8 = iota
+	replayROBHead       // serializing instruction waiting to reach the ROB head
+	replayMemOrd        // load blocked by an older store (unknown address / overlap)
+	replaySLGate        // load gated by an SL-cache entry awaiting branch resolution
+)
+
+// waiter is one wakeup-list entry: when the producer completes, its result
+// is written into srcs[src] of u.  The consumer may have been squashed and
+// even recycled since registering, so the entry carries the seq it expects
+// and the wakeup validates it — exactly the prodRef discipline, inverted.
+type waiter struct {
+	u   *uop
+	seq uint64
+	src int8
+}
+
+// waiterChunk is a fixed block of waiter entries.  Waiter lists draw chunks
+// from a CPU-level pool rather than growing per-uop slices: per-uop storage
+// would re-grow whenever pool recycling hands a lightly-used uop to a
+// heavily-consumed producer, so the steady-state tick loop would never stop
+// allocating.  Uniform chunks make the pool's high-water mark a property of
+// the machine (peak simultaneous waiter entries), not of uop identity.
+type waiterChunk struct {
+	n    int
+	next *waiterChunk
+	ws   [6]waiter
+}
+
+// sqNode threads a store into the per-line disambiguation chain of one cache
+// line it writes (see CPU.sqLink).
+type sqNode struct {
+	line       uint64
+	u          *uop
+	prev, next *sqNode
 }
 
 func (u *uop) isLoad() bool  { return u.inst.Op.IsLoad() }
@@ -274,11 +337,17 @@ func (c *CPU) allocUOp() *uop {
 // holds it; stale RAT/operand references are tolerated because they validate
 // seq before reading.  Result fields are deliberately NOT cleared here: a
 // consumer that captured this producer before it committed may still poll it
-// until the next reuse, and must observe the final result.
+// until the next reuse, and must observe the final result.  Any waiter
+// chunks still attached (a squashed producer dies with its list) return to
+// the chunk pool — the entries themselves need no teardown, since wakeups
+// validate consumer seqs.
 func (c *CPU) freeUOp(u *uop) {
 	if u.ratCP != nil {
 		c.ratPool = append(c.ratPool, u.ratCP)
 		u.ratCP = nil
+	}
+	if u.wHead != nil {
+		c.dropWaiters(u)
 	}
 	c.uopPool = append(c.uopPool, u)
 }

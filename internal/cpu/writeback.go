@@ -2,50 +2,15 @@ package cpu
 
 import "slices"
 
-// writebackPhase completes executed uops whose latency has elapsed, waking
-// dependants (by polling in issue) and resolving control flow.  The oldest
-// mispredicted control instruction triggers recovery: younger uops are
-// squashed, the RAT and predictor state are restored from the instruction's
-// checkpoints, and fetch is redirected.  In-flight cache fills survive —
-// that persistence is the Spectre/SPECRUN channel.
-//
-// Squashes only mark uops; the per-cycle phases lazily compact their queues,
-// so a recovery in the middle of a scan never invalidates iteration state.
-func (c *CPU) writebackPhase(now uint64) {
-	if len(c.inflight) == 0 {
-		return
-	}
-	sortBySeq(c.inflight)
-	for _, u := range c.inflight {
-		if u.squashed {
-			continue
-		}
-		// STD half of a split store: capture the data once it arrives.
-		if u.dataPending && u.stage == stIssued && c.srcsReadyTo(u, u.nsrc) {
-			data := u.srcs[u.nsrc-1]
-			u.storeVal, u.storeVal2 = data.val, data.val2
-			u.storeINV = data.inv
-			u.dataPending = false
-			u.doneAt = now + 1
-		}
-		if u.stage != stIssued || u.doneAt > now {
-			continue
-		}
-		u.stage = stDone
-		if u.isCtl() && !u.unresolved && c.mispredicted(u) {
-			// Oldest-first processing guarantees entries already completed
-			// this cycle are older than u and survive the squash.
-			c.recover(u, now)
-		}
-	}
-	c.inflight = compact(c.inflight, func(u *uop) bool {
-		return !u.squashed && u.stage == stIssued
-	})
-}
+// The writeback phase itself lives in sched.go (event-driven, the default)
+// and sched_poll.go (polling reference).  This file holds the pieces both
+// share: misprediction recovery and squash teardown.
 
 // sortBySeq orders uops oldest-first.  Seqs are unique, so the result is
 // the same total order sort.Slice produced; slices.SortFunc avoids the
-// reflect-based swapper allocation sort.Slice paid on every cycle.
+// reflect-based swapper allocation sort.Slice paid on every cycle.  Only
+// the polling reference still sorts per cycle — the event-driven scheduler
+// keeps its in-flight list sorted by insertion.
 func sortBySeq(s []*uop) {
 	slices.SortFunc(s, func(a, b *uop) int {
 		if a.seq < b.seq {
@@ -92,12 +57,17 @@ func (c *CPU) recover(u *uop, now uint64) {
 }
 
 // squashYounger marks every uop younger than seq as squashed and removes it
-// from the ROB.  Issue/load/store/in-flight queues drop marked entries when
-// their phase next compacts; the end-of-step drain recycles the uops once
-// every queue has done so.  Fetch-buffer uops were never renamed — nothing
-// else can reference them — so they recycle immediately.
+// from the ROB.  The event-driven scheduler maintains its queues eagerly
+// (the SQ ring truncates from the back with its line chains unlinked, and
+// the IQ/LQ occupancy counters drop with each squashed uop); the ready,
+// replay and in-flight lists — and the polling reference's slices — drop
+// marked entries when their phase next compacts, and the end-of-step drain
+// recycles the uops once every queue has done so.  Fetch-buffer uops were
+// never renamed — nothing else can reference them — so they recycle
+// immediately.
 func (c *CPU) squashYounger(seq uint64) {
 	n := 0
+	recompute := false
 	for c.rob.len() > 0 {
 		tail := c.rob.at(c.rob.len() - 1)
 		if tail.seq <= seq {
@@ -106,8 +76,27 @@ func (c *CPU) squashYounger(seq uint64) {
 		c.rob.popBack()
 		tail.squashed = true
 		c.releasePRF(tail)
+		if !c.pollSched {
+			if tail.inIQ {
+				tail.inIQ = false
+				c.iqUsed--
+			}
+			if tail.isLoad() {
+				c.lqUsed--
+			}
+			if tail.isStore() {
+				st := c.sqr.popBack()
+				c.sqUnlink(st)
+				if st.seq == c.sqUnknown {
+					recompute = true
+				}
+			}
+		}
 		c.deadNew = append(c.deadNew, tail)
 		n++
+	}
+	if recompute {
+		c.recomputeSQUnknown()
 	}
 	c.stats.Squashed += uint64(n + c.frontQ.len())
 	for c.frontQ.len() > 0 {
@@ -122,6 +111,15 @@ func (c *CPU) squashYounger(seq uint64) {
 // iteration in progress — so all pipeline uops recycle immediately,
 // including any still pending from earlier partial squashes.
 func (c *CPU) squashAll() {
+	// Unlink stores from the disambiguation index before the uops recycle.
+	for c.sqr.len() > 0 {
+		c.sqUnlink(c.sqr.popFront())
+	}
+	c.sqUnknown = 0
+	c.ready = c.ready[:0]
+	c.replay = c.replay[:0]
+	c.iqUsed, c.lqUsed = 0, 0
+
 	for c.rob.len() > 0 {
 		u := c.rob.popBack()
 		u.squashed = true

@@ -18,6 +18,11 @@ type CampaignSpec struct {
 	Matrix   string `json:"matrix,omitempty"`    // "quick" (default) | "full"
 	Len      int    `json:"len,omitempty"`       // proggen body length (0 = default)
 	NoShrink bool   `json:"no_shrink,omitempty"` // skip minimizing failing seeds
+	// Interleave switches the oracle from per-seed ISS lockstep (CheckSeed)
+	// to the cross-run state-leak hunt (CheckInterleave): each seed's
+	// program runs twice on one reused machine with an unrelated program in
+	// between, and the two runs must be identical.
+	Interleave bool `json:"interleave,omitempty"`
 }
 
 // WithDefaults fills the CLI-equivalent defaults, so an explicit default and
@@ -102,8 +107,12 @@ func Run(ctx context.Context, spec CampaignSpec, opt sweep.Options) (Report, err
 	for i := range seeds {
 		seeds[i] = spec.SeedBase + int64(i)
 	}
+	check := CheckSeed
+	if spec.Interleave {
+		check = CheckInterleave
+	}
 	results, runErr := sweep.Run(ctx, seeds, func(_ context.Context, seed int64) (SeedResult, error) {
-		return CheckSeed(seed, popt, cfgs), nil
+		return check(seed, popt, cfgs), nil
 	}, opt)
 
 	rep := Report{Spec: spec, Configs: len(cfgs)}
@@ -134,7 +143,7 @@ func Run(ctx context.Context, spec CampaignSpec, opt sweep.Options) (Report, err
 	}
 	rep.Clean = len(rep.Divergences) == 0
 
-	if !spec.NoShrink {
+	if !spec.NoShrink && !spec.Interleave { // the shrinker minimizes against the ISS oracle only
 		byName := make(map[string]NamedConfig, len(cfgs))
 		for _, nc := range cfgs {
 			byName[nc.Name] = nc

@@ -30,6 +30,7 @@ package difftest
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"specrun/internal/asm"
 	"specrun/internal/cpu"
@@ -125,6 +126,7 @@ func destString(d isa.Reg) string {
 type runnerCache struct {
 	ref  *iss.Interp
 	cpus map[string]*cacheEntry
+	tick uint64 // lastUse clock for the per-cache LRU bound
 
 	refRecs  []record
 	pipeRecs []record
@@ -134,12 +136,26 @@ type runnerCache struct {
 // NamedConfigs may share a name (callers can hand-build them), and a name
 // collision must rebuild rather than silently simulate the wrong machine.
 type cacheEntry struct {
-	cfg cpu.Config
-	c   *cpu.CPU
+	cfg     cpu.Config
+	c       *cpu.CPU
+	lastUse uint64
 }
 
+// RunnerCacheCap bounds the machines one worker cache holds: the full
+// matrix needs 19, and a long-lived server fuzzing hand-built config sets
+// must not accumulate one ~3 MB machine per configuration forever.  The
+// least-recently-used machine is dropped on overflow; RunnerEvictions
+// counts drops for GET /v1/stats.
+const RunnerCacheCap = 32
+
+var runnerEvictions atomic.Uint64
+
+// RunnerEvictions reports how many difftest worker-cache machines have been
+// evicted by the LRU bound since process start.
+func RunnerEvictions() uint64 { return runnerEvictions.Load() }
+
 var runnerCaches = sweep.NewLocal(func() *runnerCache {
-	return &runnerCache{cpus: make(map[string]*cacheEntry)}
+	return &runnerCache{cpus: make(map[string]*cacheEntry, RunnerCacheCap)}
 })
 
 // refStream executes prog on the reference interpreter, capturing one record
@@ -190,11 +206,24 @@ func (rc *runnerCache) refStream(prog *asm.Program) ([]record, *iss.Interp, erro
 func (rc *runnerCache) pipeStream(nc NamedConfig, prog *asm.Program) ([]record, *cpu.CPU, error) {
 	e := rc.cpus[nc.Name]
 	if e == nil || e.cfg != nc.Config {
+		if e == nil && len(rc.cpus) >= RunnerCacheCap {
+			var victim string
+			oldest := ^uint64(0)
+			for name, ce := range rc.cpus {
+				if ce.lastUse < oldest {
+					victim, oldest = name, ce.lastUse
+				}
+			}
+			delete(rc.cpus, victim)
+			runnerEvictions.Add(1)
+		}
 		e = &cacheEntry{cfg: nc.Config, c: cpu.New(nc.Config, prog)}
 		rc.cpus[nc.Name] = e
 	} else {
 		e.c.Reset(prog)
 	}
+	rc.tick++
+	e.lastUse = rc.tick
 	c := e.c
 	if rc.pipeRecs == nil {
 		rc.pipeRecs = make([]record, 0, 4096)
@@ -302,9 +331,7 @@ func diffArch(ref *iss.Interp, c *cpu.CPU) string {
 
 // diffMemory compares the program's scratch buffer and stack word-by-word.
 func diffMemory(prog *asm.Program, opt proggen.Options, ref *iss.Interp, c *cpu.CPU) string {
-	if opt.BufBytes == 0 {
-		opt = proggen.DefaultOptions()
-	}
+	opt = opt.WithDefaults() // the geometry Generate actually used
 	for _, region := range []struct {
 		sym  string
 		size int

@@ -19,22 +19,41 @@ type CacheStats struct {
 	Invalidates uint64
 }
 
+// line is one cache way.  Validity is epoch-tagged: the line is present iff
+// epoch matches the cache's current epoch, which makes InvalidateAll/Reset a
+// counter bump instead of an O(size) clear (clearing the multi-megabyte L3
+// array per machine Reset dominated whole-simulation profiles).  prev/next
+// thread the line into its set's recency list.
 type line struct {
 	addr     uint64 // line-aligned address; the full address doubles as tag
-	valid    bool
-	dirty    bool
-	lru      uint64 // higher = more recently used
 	fillDone uint64 // cycle at which the fill data arrives (MSHR merge point)
+	epoch    uint64 // valid iff == Cache.epoch (0 is never a live epoch)
+	dirty    bool
+	prev     int16 // way index of the next-more-recent line (-1 = MRU)
+	next     int16 // way index of the next-less-recent line (-1 = LRU)
 }
 
 // Cache is one set-associative, LRU, write-back cache level.  It tracks tags
 // and fill timing only; data lives in the functional Memory.
+//
+// Replacement is exact LRU — the LRU order is observable timing state (which
+// victim a fill evicts decides later hits and misses), so approximations are
+// off the table — but nothing scans: each set carries an intrusive
+// doubly-linked recency list (head = MRU, tail = LRU), giving O(1) touch on
+// hit and an O(1) victim on fill.  Set lists are themselves epoch-tagged and
+// lazily re-initialised after an invalidation epoch bump.
 type Cache struct {
 	cfg      CacheConfig
 	lineSize int
 	numSets  int
 	sets     []line // numSets * Assoc, laid out set-major
-	lruClock uint64
+
+	// Per-set recency-list state, valid iff setEpoch matches epoch.
+	mru, lru []int16 // way index of the most/least recently used line (-1 = empty)
+	nvalid   []int16 // live lines in the set
+	setEpoch []uint64
+
+	epoch uint64 // current validity epoch; bumped by InvalidateAll
 
 	Stats CacheStats
 }
@@ -54,6 +73,11 @@ func NewCache(cfg CacheConfig, lineSize int) *Cache {
 		lineSize: lineSize,
 		numSets:  numSets,
 		sets:     make([]line, numSets*cfg.Assoc),
+		mru:      make([]int16, numSets),
+		lru:      make([]int16, numSets),
+		nvalid:   make([]int16, numSets),
+		setEpoch: make([]uint64, numSets),
+		epoch:    1,
 	}
 }
 
@@ -63,27 +87,84 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 // NumSets reports the number of sets.
 func (c *Cache) NumSets() int { return c.numSets }
 
+func (c *Cache) setIdx(lineAddr uint64) int {
+	return int((lineAddr / uint64(c.lineSize)) & uint64(c.numSets-1))
+}
+
 func (c *Cache) set(lineAddr uint64) []line {
-	idx := (lineAddr / uint64(c.lineSize)) & uint64(c.numSets-1)
-	return c.sets[idx*uint64(c.cfg.Assoc) : (idx+1)*uint64(c.cfg.Assoc)]
+	idx := c.setIdx(lineAddr)
+	return c.sets[idx*c.cfg.Assoc : (idx+1)*c.cfg.Assoc]
+}
+
+// initSet lazily resets a set's recency list after an epoch bump.
+func (c *Cache) initSet(idx int) {
+	if c.setEpoch[idx] != c.epoch {
+		c.setEpoch[idx] = c.epoch
+		c.mru[idx], c.lru[idx], c.nvalid[idx] = -1, -1, 0
+	}
+}
+
+// findWay probes the set's tags for lineAddr and returns the way (-1 miss).
+func (c *Cache) findWay(s []line, lineAddr uint64) int {
+	for i := range s {
+		if s[i].epoch == c.epoch && s[i].addr == lineAddr {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch moves way w to the MRU head of set idx.
+func (c *Cache) touch(idx int, s []line, w int) {
+	if c.mru[idx] == int16(w) {
+		return
+	}
+	c.unlink(idx, s, w)
+	c.linkMRU(idx, s, w)
+}
+
+// unlink removes way w from set idx's recency list.
+func (c *Cache) unlink(idx int, s []line, w int) {
+	p, n := s[w].prev, s[w].next
+	if p >= 0 {
+		s[p].next = n
+	} else {
+		c.mru[idx] = n
+	}
+	if n >= 0 {
+		s[n].prev = p
+	} else {
+		c.lru[idx] = p
+	}
+}
+
+// linkMRU inserts way w at the MRU head of set idx's recency list.
+func (c *Cache) linkMRU(idx int, s []line, w int) {
+	h := c.mru[idx]
+	s[w].prev, s[w].next = -1, h
+	if h >= 0 {
+		s[h].prev = int16(w)
+	} else {
+		c.lru[idx] = int16(w)
+	}
+	c.mru[idx] = int16(w)
 }
 
 // Lookup checks for lineAddr.  On a hit it updates LRU state and returns the
 // cycle at which the data is available (later than now for an in-flight fill
 // that a second miss merged into, i.e. an MSHR secondary miss).
 func (c *Cache) Lookup(lineAddr, now uint64) (hit bool, readyAt uint64) {
-	s := c.set(lineAddr)
-	for i := range s {
-		if s[i].valid && s[i].addr == lineAddr {
-			c.lruClock++
-			s[i].lru = c.lruClock
-			c.Stats.Hits++
-			ready := now
-			if s[i].fillDone > now {
-				ready = s[i].fillDone
-			}
-			return true, ready
+	idx := c.setIdx(lineAddr)
+	c.initSet(idx)
+	s := c.sets[idx*c.cfg.Assoc : (idx+1)*c.cfg.Assoc]
+	if w := c.findWay(s, lineAddr); w >= 0 {
+		c.touch(idx, s, w)
+		c.Stats.Hits++
+		ready := now
+		if s[w].fillDone > now {
+			ready = s[w].fillDone
 		}
+		return true, ready
 	}
 	c.Stats.Misses++
 	return false, 0
@@ -92,22 +173,14 @@ func (c *Cache) Lookup(lineAddr, now uint64) (hit bool, readyAt uint64) {
 // Probe reports presence without perturbing LRU or statistics.  Used by the
 // harness and by the secure runahead mode's side-effect-free checks.
 func (c *Cache) Probe(lineAddr uint64) bool {
-	s := c.set(lineAddr)
-	for i := range s {
-		if s[i].valid && s[i].addr == lineAddr {
-			return true
-		}
-	}
-	return false
+	return c.findWay(c.set(lineAddr), lineAddr) >= 0
 }
 
 // ProbeReady reports presence and the fill-completion cycle.
 func (c *Cache) ProbeReady(lineAddr uint64) (present bool, fillDone uint64) {
 	s := c.set(lineAddr)
-	for i := range s {
-		if s[i].valid && s[i].addr == lineAddr {
-			return true, s[i].fillDone
-		}
+	if w := c.findWay(s, lineAddr); w >= 0 {
+		return true, s[w].fillDone
 	}
 	return false, 0
 }
@@ -116,40 +189,39 @@ func (c *Cache) ProbeReady(lineAddr uint64) (present bool, fillDone uint64) {
 // LRU victim if needed.  It returns the evicted line address and whether the
 // victim was dirty (for write-back traffic accounting).
 func (c *Cache) Insert(lineAddr, fillDone uint64, dirty bool) (evicted uint64, evictedDirty, hadVictim bool) {
-	s := c.set(lineAddr)
-	for i := range s {
-		if s[i].valid && s[i].addr == lineAddr {
-			// Refill of a resident line (e.g. write install racing a read
-			// miss merge): merge into the existing entry instead of
-			// reinstalling.  The resident entry is the primary fill, so its
-			// ready time is authoritative — a merged secondary miss can
-			// never observe data before the primary fill completes — and
-			// the line was filled once, so Fills must not count again.
-			c.lruClock++
-			s[i].lru = c.lruClock
-			s[i].dirty = s[i].dirty || dirty
-			return 0, false, false
-		}
+	idx := c.setIdx(lineAddr)
+	c.initSet(idx)
+	s := c.sets[idx*c.cfg.Assoc : (idx+1)*c.cfg.Assoc]
+	if w := c.findWay(s, lineAddr); w >= 0 {
+		// Refill of a resident line (e.g. write install racing a read miss
+		// merge): merge into the existing entry instead of reinstalling.  The
+		// resident entry is the primary fill, so its ready time is
+		// authoritative — a merged secondary miss can never observe data
+		// before the primary fill completes — and the line was filled once,
+		// so Fills must not count again.
+		c.touch(idx, s, w)
+		s[w].dirty = s[w].dirty || dirty
+		return 0, false, false
 	}
-	victim := -1
-	for i := range s {
-		if !s[i].valid {
-			victim = i
-			break
-		}
-	}
-	if victim < 0 {
-		victim = 0
-		for i := 1; i < len(s); i++ {
-			if s[i].lru < s[victim].lru {
+	var victim int
+	if int(c.nvalid[idx]) < len(s) {
+		// A free way exists; which one is unobservable, so take the first.
+		victim = -1
+		for i := range s {
+			if s[i].epoch != c.epoch {
 				victim = i
+				break
 			}
 		}
+		c.nvalid[idx]++
+	} else {
+		victim = int(c.lru[idx])
 		evicted, evictedDirty, hadVictim = s[victim].addr, s[victim].dirty, true
+		c.unlink(idx, s, victim)
 		c.Stats.Evictions++
 	}
-	c.lruClock++
-	s[victim] = line{addr: lineAddr, valid: true, dirty: dirty, lru: c.lruClock, fillDone: fillDone}
+	s[victim] = line{addr: lineAddr, epoch: c.epoch, dirty: dirty, fillDone: fillDone}
+	c.linkMRU(idx, s, victim)
 	c.Stats.Fills++
 	return evicted, evictedDirty, hadVictim
 }
@@ -157,51 +229,47 @@ func (c *Cache) Insert(lineAddr, fillDone uint64, dirty bool) (evicted uint64, e
 // SetDirty marks a present line dirty (store hit).
 func (c *Cache) SetDirty(lineAddr uint64) {
 	s := c.set(lineAddr)
-	for i := range s {
-		if s[i].valid && s[i].addr == lineAddr {
-			s[i].dirty = true
-			return
-		}
+	if w := c.findWay(s, lineAddr); w >= 0 {
+		s[w].dirty = true
 	}
 }
 
 // Invalidate removes lineAddr if present and reports whether it was.
 func (c *Cache) Invalidate(lineAddr uint64) bool {
-	s := c.set(lineAddr)
-	for i := range s {
-		if s[i].valid && s[i].addr == lineAddr {
-			s[i] = line{}
-			c.Stats.Invalidates++
-			return true
-		}
+	idx := c.setIdx(lineAddr)
+	c.initSet(idx)
+	s := c.sets[idx*c.cfg.Assoc : (idx+1)*c.cfg.Assoc]
+	if w := c.findWay(s, lineAddr); w >= 0 {
+		c.unlink(idx, s, w)
+		s[w].epoch = 0
+		c.nvalid[idx]--
+		c.Stats.Invalidates++
+		return true
 	}
 	return false
 }
 
-// InvalidateAll empties the cache (used between simulations).
+// InvalidateAll empties the cache (used between simulations).  An epoch bump
+// invalidates every line at once; set recency lists re-initialise lazily on
+// first touch.
 func (c *Cache) InvalidateAll() {
-	for i := range c.sets {
-		c.sets[i] = line{}
-	}
+	c.epoch++
 }
 
-// Reset returns the cache to its just-constructed state: empty, with the LRU
-// clock and statistics cleared, so a reused machine behaves byte-identically
-// to a fresh one.
+// Reset returns the cache to its just-constructed state: empty, with the
+// statistics cleared, so a reused machine behaves byte-identically to a
+// fresh one.
 func (c *Cache) Reset() {
 	c.InvalidateAll()
-	c.lruClock = 0
 	c.Stats = CacheStats{}
 }
 
 // Occupancy reports the number of valid lines in the set holding lineAddr
 // (for property tests: never exceeds associativity).
 func (c *Cache) Occupancy(lineAddr uint64) int {
-	n := 0
-	for _, l := range c.set(lineAddr) {
-		if l.valid {
-			n++
-		}
+	idx := c.setIdx(lineAddr)
+	if c.setEpoch[idx] != c.epoch {
+		return 0
 	}
-	return n
+	return int(c.nvalid[idx])
 }

@@ -45,12 +45,21 @@ func DefaultOptions() Options {
 	}
 }
 
+// WithDefaults resolves the zero Options value to DefaultOptions — the one
+// defaulting rule shared by Generate and every consumer that needs to know
+// the buffer/stack geometry of a generated program (difftest memory
+// oracles).  An unset BufBytes marks the whole struct as unset.
+func (o Options) WithDefaults() Options {
+	if o.BufBytes == 0 {
+		return DefaultOptions()
+	}
+	return o
+}
+
 // Generate builds a random program from seed.  The returned program halts
 // within a bounded number of steps by construction.
 func Generate(seed int64, opt Options) *asm.Program {
-	if opt.BufBytes == 0 {
-		opt = DefaultOptions()
-	}
+	opt = opt.WithDefaults()
 	g := &gen{
 		rng: rand.New(rand.NewSource(seed)),
 		b:   asm.NewBuilder(0x1000, 0x100000),

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"specrun/internal/core"
+	"specrun/internal/difftest"
 	"specrun/internal/rescache"
 	"specrun/internal/sweep"
 )
@@ -410,18 +411,32 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// MachinePoolStats reports reusable-machine retention: core's per-config
+// pool LRU and the differential engine's per-worker machine caches.  Both
+// are bounded; the eviction counters tell an operator whether a long-lived
+// server is cycling through more configurations than the bounds hold.
+type MachinePoolStats struct {
+	Configs          int    `json:"configs"`               // configurations with a live core pool
+	Capacity         int    `json:"capacity"`              // core pool LRU bound
+	Evictions        uint64 `json:"evictions"`             // core config pools dropped
+	RunnerEvictions  uint64 `json:"runner_evictions"`      // difftest worker-cache machines dropped
+	RunnerCapPerSlot int    `json:"runner_cap_per_worker"` // difftest per-worker machine bound
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Version       string         `json:"version"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Requests      uint64         `json:"requests"`
-	Simulations   uint64         `json:"simulations"` // driver/sweep executions actually run
-	Workers       int            `json:"workers"`     // server-wide simulation budget
-	Cache         rescache.Stats `json:"cache"`
-	Jobs          JobStats       `json:"jobs"`
+	Version       string           `json:"version"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      uint64           `json:"requests"`
+	Simulations   uint64           `json:"simulations"` // driver/sweep executions actually run
+	Workers       int              `json:"workers"`     // server-wide simulation budget
+	Cache         rescache.Stats   `json:"cache"`
+	Jobs          JobStats         `json:"jobs"`
+	MachinePools  MachinePoolStats `json:"machine_pools"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	pools := core.MachinePoolStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Version:       Version(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -430,6 +445,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workers:       s.gate.Cap(),
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.stats(),
+		MachinePools: MachinePoolStats{
+			Configs:          pools.Configs,
+			Capacity:         pools.Capacity,
+			Evictions:        pools.Evictions,
+			RunnerEvictions:  difftest.RunnerEvictions(),
+			RunnerCapPerSlot: difftest.RunnerCacheCap,
+		},
 	})
 }
 
