@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"specrun/internal/difftest"
+	"specrun/internal/leak"
 	"specrun/internal/server"
 	"specrun/internal/sweep"
 )
@@ -31,6 +32,7 @@ func runFuzz(args []string) error {
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	noShrink := fs.Bool("no-shrink", false, "report divergences without minimizing them")
 	interleave := fs.Bool("interleave", false, "cross-run state-leak hunt: run A, B, A' on one reused machine and require A == A'")
+	leaks := fs.Bool("leaks", false, "microarchitectural leak oracle: run each program twice with two secret valuations and diff the speculative observation traces")
 	jsonOut := fs.Bool("json", false, "emit the campaign report as canonical JSON (matches POST /v1/run/fuzz)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -43,9 +45,13 @@ func runFuzz(args []string) error {
 		Len:        *bodyLen,
 		NoShrink:   *noShrink,
 		Interleave: *interleave,
+		Leaks:      *leaks,
 	}
 	if *matrix {
 		spec.Matrix = "full"
+	}
+	if spec.Leaks && spec.Interleave {
+		return fmt.Errorf("fuzz: --leaks and --interleave are mutually exclusive oracles")
 	}
 	// Resolve defaults up front: duration mode advances SeedBase by
 	// spec.Seeds each round, which must be the effective count, not an
@@ -60,6 +66,10 @@ func runFuzz(args []string) error {
 		opt.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rfuzz: %d/%d seeds", done, total)
 		}
+	}
+
+	if spec.Leaks {
+		return runLeakFuzz(ctx, spec, opt, *duration, *jsonOut, *quiet)
 	}
 
 	// Duration mode runs successive rounds over fresh seed ranges; a single
@@ -101,6 +111,80 @@ func runFuzz(args []string) error {
 		return fmt.Errorf("fuzz: %d divergences across %d runs", len(report.Divergences), report.Runs)
 	}
 	return nil
+}
+
+// runLeakFuzz drives the microarchitectural leak oracle (--leaks).  Leaks
+// are findings, not failures — a leaky insecure configuration is the
+// behaviour the paper documents — so the exit status reflects only oracle
+// errors (run_error / seq_divergence).
+func runLeakFuzz(ctx context.Context, spec difftest.CampaignSpec, opt sweep.Options, duration time.Duration, jsonOut, quiet bool) error {
+	start := time.Now()
+	report, runErr := leak.Run(ctx, spec, opt)
+	if !quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	for runErr == nil && duration > 0 && time.Since(start) < duration && ctx.Err() == nil {
+		spec.SeedBase += int64(spec.Seeds)
+		var next leak.Report
+		next, runErr = leak.Run(ctx, spec, opt)
+		if !quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		report = report.Merge(next)
+	}
+
+	if report.Configs == 0 {
+		return runErr
+	}
+	if jsonOut {
+		b, err := server.Encode(report)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+	} else {
+		printLeakReport(report)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if !report.Clean {
+		return fmt.Errorf("fuzz: %d oracle errors across %d runs", report.Errors, report.Runs)
+	}
+	return nil
+}
+
+func printLeakReport(r leak.Report) {
+	fmt.Printf("leak oracle: %d seeds × %d configs = %d runs (%s matrix), %d leaks, %d errors\n",
+		r.Spec.Seeds, r.Configs, r.Runs, r.Spec.Matrix, r.Leaks, r.Errors)
+	fmt.Println("golden attack corpus:")
+	fmt.Printf("  %-14s %-24s %8s\n", "program", "config", "result")
+	for _, row := range r.Corpus {
+		result := "silent"
+		switch {
+		case row.Error != "":
+			result = "ERROR"
+		case row.Leak:
+			result = "LEAK"
+		}
+		fmt.Printf("  %-14s %-24s %8s\n", row.Program, row.Config, result)
+	}
+	fmt.Println("generated seeds:")
+	fmt.Printf("  %-24s %8s %8s %8s\n", "config", "runs", "leaks", "errors")
+	for _, s := range r.PerConfig {
+		fmt.Printf("  %-24s %8d %8d %8d\n", s.Config, s.Runs, s.Leaks, s.Errors)
+	}
+	for _, f := range r.Findings {
+		if f.Kind != leak.KindLeak {
+			fmt.Printf("  ERROR seed %d / %s: %s: %s\n", f.Seed, f.Config, f.Kind, f.Detail)
+			continue
+		}
+		fmt.Printf("  leak seed %d / %s: pc=%#x line=%#x via %s\n", f.Seed, f.Config, f.PC, f.Line, f.Event)
+		if f.Minimized != nil {
+			fmt.Printf("    minimized reproducer: seed=%d len=%d options=%+v\n",
+				f.Minimized.Seed, f.Minimized.Options.Len, f.Minimized.Options)
+		}
+	}
 }
 
 func printFuzzReport(r difftest.Report) {

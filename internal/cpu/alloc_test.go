@@ -95,6 +95,48 @@ func TestTickLoopZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestTickLoopZeroAllocTapDisabled pins the leak tap's inertness contract:
+// a machine that had observers installed and then removed again (the
+// SetObserver(nil) path) must be exactly as allocation-free as one that
+// never had them — the nil-checked emission sites are the only footprint
+// the tap leaves on an untapped run.
+func TestTickLoopZeroAllocTapDisabled(t *testing.T) {
+	const footprint = 1 << 20
+	prog := streamLoop(t, footprint)
+	c := New(tickLoopConfig(), prog)
+	// Install both taps, exercise them, then disable — the steady-state
+	// measurement below must not see a trace of them.
+	events := 0
+	c.SetObserver(func(Observation) { events++ })
+	c.Hier().SetObserver(func(mem.CacheEvent) { events++ })
+	for a := uint64(0); a < footprint; a += 1 << 12 {
+		c.Mem().SetByte(prog.MustSym("buf")+a, 0)
+	}
+	if err := c.Run(300_000); !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("warmup: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("taps saw no events during warmup; the test lost its coverage")
+	}
+	if c.Stats().RunaheadEpisodes == 0 {
+		t.Fatal("tick-loop workload triggered no runahead episodes; the test lost its coverage")
+	}
+	c.SetObserver(nil)
+	c.Hier().SetObserver(nil)
+	grown := make([]uint64, len(c.stats.EpisodeReaches), 1<<16)
+	copy(grown, c.stats.EpisodeReaches)
+	c.stats.EpisodeReaches = grown
+
+	avg := testing.AllocsPerRun(5, func() {
+		if err := c.Run(20_000); !errors.Is(err, ErrMaxCycles) {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("tick loop with disabled tap allocates: %.1f allocs per 20k cycles, want 0", avg)
+	}
+}
+
 // TestResetReuseZeroAlloc pins the machine-reuse half of the tentpole: after
 // one warmup pass, Reset + full re-run of the same program allocates
 // nothing.

@@ -148,10 +148,16 @@ func (c *CPU) retire(u *uop, now uint64) {
 			c.memImg.WriteU64(u.addr+8, u.storeVal2)
 		}
 		// Timing: the store drains to the L1 D-cache in the background.
-		c.hier.Access(mem.PortD, u.addr, now, true)
+		sres := c.hier.Access(mem.PortD, u.addr, now, true)
+		if c.obsFn != nil {
+			c.observe(ObsStore, u.pc, c.hier.LineAddr(u.addr), sres.Level)
+		}
 	case isa.KindFlush:
 		c.hier.Flush(u.addr)
 		c.sl.Remove(c.hier.LineAddr(u.addr))
+		if c.obsFn != nil {
+			c.observe(ObsFlush, u.pc, c.hier.LineAddr(u.addr), mem.LevelNone)
+		}
 	case isa.KindBranch:
 		c.stats.CondBranches++
 		c.bp.TrainCond(u.phtIdx, u.actualTaken)

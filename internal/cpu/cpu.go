@@ -282,11 +282,12 @@ type CPU struct {
 	// debugRA, when set, receives a line per runahead entry/exit (tests).
 	debugRA func(format string, args ...any)
 
-	// Pipeline tracing (SetTracer) and commit-stream observation
-	// (SetCommitHook).
+	// Pipeline tracing (SetTracer), commit-stream observation
+	// (SetCommitHook) and the microarchitectural leak tap (SetObserver).
 	traceEvery uint64
 	traceFn    func(TraceSample)
 	commitFn   func(CommitRecord)
+	obsFn      func(Observation)
 }
 
 // New builds a CPU running prog.  The program's data segments are loaded

@@ -346,7 +346,14 @@ func TestDeadlockDetection(t *testing.T) {
 // one program under one configuration.
 func differential(t *testing.T, seed int64, cfg Config, name string) {
 	t.Helper()
-	prog := proggen.Generate(seed, proggen.DefaultOptions())
+	differentialOpts(t, seed, proggen.DefaultOptions(), cfg, name)
+}
+
+// differentialOpts is differential with explicit generator options (the
+// leak-campaign regressions replay shrinker-minimized option sets).
+func differentialOpts(t *testing.T, seed int64, opt proggen.Options, cfg Config, name string) {
+	t.Helper()
+	prog := proggen.Generate(seed, opt)
 	ref := iss.New(prog)
 	if err := ref.Run(5_000_000); err != nil {
 		t.Fatalf("seed %d: iss: %v", seed, err)
@@ -371,7 +378,11 @@ func differential(t *testing.T, seed int64, cfg Config, name string) {
 		}
 	}
 	buf := prog.MustSym("buf")
-	for off := 0; off < 4096; off += 8 {
+	span := opt.BufBytes
+	if span > 4096 {
+		span = 4096
+	}
+	for off := 0; off < span; off += 8 {
 		a := uint64(off) + buf
 		if c.Mem().ReadU64(a) != ref.Mem.ReadU64(a) {
 			t.Fatalf("seed %d (%s): mem[%#x] = %#x, iss %#x", seed, name, a,
@@ -469,6 +480,51 @@ func TestFuzzCampaignRegressions(t *testing.T) {
 	for _, seed := range []int64{128, 160, 861, 954} {
 		differential(t, seed, noRunaheadConfig(), "fuzz-regression-base")
 		differential(t, seed, DefaultConfig(), "fuzz-regression-ra")
+	}
+
+	// Shrinker-minimized reproducers from the first leak-oracle campaign
+	// (seeds 1..300; see internal/leak's TestLeakRegressions for the leak
+	// side).  Here they pin the complementary property: the leak-gadget
+	// programs — Clflush-stalled bounds checks, secret-region transient
+	// loads — stay architecturally equivalent to the in-order reference on
+	// every machine, leaky or not.  The secret must only ever escape through
+	// the cache side channel.
+	leakBase := proggen.Options{
+		Len: 60, BufBytes: 4096, StackBytes: 1024,
+		Loops: true, Calls: true, Gadgets: true, Flushes: true,
+		FloatOps: true, Vector: true,
+		SecretBytes: 64,
+	}
+	with := func(mod func(*proggen.Options)) proggen.Options {
+		o := leakBase
+		mod(&o)
+		return o
+	}
+	leakCases := []struct {
+		seed int64
+		opt  proggen.Options
+	}{
+		{277, with(func(o *proggen.Options) {
+			o.Len = 2
+			o.Loops, o.Calls, o.Flushes, o.FloatOps, o.Vector = false, false, false, false, false
+		})},
+		{260, with(func(o *proggen.Options) {
+			o.Len = 3
+			o.Loops, o.Flushes = false, false
+		})},
+		{251, with(func(o *proggen.Options) {
+			o.Len = 4
+			o.Loops, o.Calls, o.Flushes, o.FloatOps, o.Vector = false, false, false, false, false
+		})},
+		{237, with(func(o *proggen.Options) {
+			o.Len = 32
+			o.BufBytes, o.StackBytes = 512, 256
+			o.Loops, o.Calls, o.Flushes, o.FloatOps, o.Vector = false, false, false, false, false
+		})},
+	}
+	for _, c := range leakCases {
+		differentialOpts(t, c.seed, c.opt, noRunaheadConfig(), "leak-regression-base")
+		differentialOpts(t, c.seed, c.opt, DefaultConfig(), "leak-regression-ra")
 	}
 }
 

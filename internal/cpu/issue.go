@@ -375,13 +375,20 @@ func (c *CPU) execLoad(u *uop, now uint64) bool {
 
 	res := c.hier.Access(mem.PortD, u.addr, now, false)
 	u.missLevel = uint8(res.Level)
+	if c.obsFn != nil {
+		c.observe(ObsLoad, u.pc, line, res.Level)
+	}
 
 	// Vector runahead: prefetch further lanes along the detected stride.
 	if c.mode == ModeRunahead && c.cfg.Runahead.Kind == runahead.KindVector {
 		if stride, ok := c.strides.Predict(u.pc); ok {
 			for lane := 1; lane < c.cfg.Runahead.VectorLanes; lane++ {
-				c.hier.Access(mem.PortD, u.addr+uint64(int64(lane)*stride), now, false)
+				pa := u.addr + uint64(int64(lane)*stride)
+				pres := c.hier.Access(mem.PortD, pa, now, false)
 				c.stats.VectorPrefetches++
+				if c.obsFn != nil {
+					c.observe(ObsPrefetch, u.pc, c.hier.LineAddr(pa), pres.Level)
+				}
 			}
 		}
 	}
@@ -454,7 +461,7 @@ func (c *CPU) slLoadPath(u *uop, line, now uint64) (done, ok bool) {
 	}
 	if e.Btag.N == 0 || c.resolvedOK[e.Btag.N] == c.scopeEpoch {
 		// Safe (or gated on a correctly-predicted branch): promote to L1.
-		c.promoteSL(line, now)
+		c.promoteSL(u.pc, line, now)
 		return true, true
 	}
 	if sc := c.tracker.Scope(e.Btag.N); sc != nil && sc.Resolved && !sc.Correct {
@@ -478,10 +485,16 @@ func (c *CPU) slLoadPath(u *uop, line, now uint64) (done, ok bool) {
 }
 
 // promoteSL moves an SL line into the L1 D-cache (Algorithm 1 line 13).
-func (c *CPU) promoteSL(line, now uint64) {
+// This is the moment the defense makes a runahead fill attacker-visible, so
+// it is an observation point: pc is the load whose probe triggered the
+// promotion.
+func (c *CPU) promoteSL(pc, line, now uint64) {
 	_, l1d, _, _ := c.hier.Caches()
 	l1d.Insert(line, now+uint64(c.cfg.Secure.SLLatency), false)
 	c.sl.Promote(line)
+	if c.obsFn != nil {
+		c.observe(ObsSLPromote, pc, line, mem.LevelL1)
+	}
 	if c.sl.C() == 0 {
 		c.slActive = false
 	}

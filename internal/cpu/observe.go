@@ -1,0 +1,80 @@
+package cpu
+
+import "specrun/internal/mem"
+
+// ObsKind classifies one pipeline-side microarchitectural observation.
+type ObsKind uint8
+
+const (
+	// ObsLoad is a data-cache hierarchy touch by an executing load or
+	// return-address pop.  The access happens at issue time — before any
+	// squash can undo it — so wrong-path and runahead loads appear here,
+	// which is exactly the SPECRUN side channel.
+	ObsLoad ObsKind = iota
+	// ObsPrefetch is a vector-runahead stride prefetch (a hierarchy fill
+	// issued for a predicted future lane, not for the load's own address).
+	ObsPrefetch
+	// ObsStore is a committed store draining to the L1 D-cache.
+	ObsStore
+	// ObsFlush is a committed CLFLUSH evicting its line from every level.
+	ObsFlush
+	// ObsSLPromote is an SL-cache line moving into the L1 D-cache
+	// (Algorithm 1 line 13) after its gating branch resolved correctly —
+	// the one defense-mode event that changes attacker-visible cache state.
+	ObsSLPromote
+)
+
+func (k ObsKind) String() string {
+	switch k {
+	case ObsLoad:
+		return "load"
+	case ObsPrefetch:
+		return "prefetch"
+	case ObsStore:
+		return "store"
+	case ObsFlush:
+		return "flush"
+	case ObsSLPromote:
+		return "sl-promote"
+	default:
+		return "?"
+	}
+}
+
+// Observation is one microarchitecturally visible event: a cache line an
+// attacker sharing the data cache could learn about by probing.  Events are
+// emitted in execution order and deliberately carry no cycle numbers — a
+// cache-probing attacker observes *which* lines moved, and the leak oracle
+// (specrun/internal/leak) compares event sequences, where a pure timing
+// shift between two runs must not register as a divergence.
+//
+// The secure runahead path is intentionally absent: loads issued during a
+// secure episode probe the hierarchy without filling it (AccessNoFill) and
+// park their lines in the hidden SL buffer, so nothing attacker-visible
+// happens until an ObsSLPromote.
+type Observation struct {
+	PC    uint64    // instruction that caused the event
+	Line  uint64    // line-aligned address touched
+	Kind  ObsKind   //
+	Level mem.Level // hierarchy level that served the access (loads/prefetches/stores)
+	Mode  Mode      // machine mode at the event
+}
+
+// SetObserver installs fn to receive one Observation per attacker-visible
+// cache-line event, in execution order (nil removes it).  Like the other
+// observation hooks it is kept across Reset and runs synchronously inside
+// the simulation loop.  The tap is inert when disabled: every emission site
+// is nil-checked and passes values already computed for the simulation
+// itself, so an untapped machine executes the exact same state transitions
+// (the observer-neutrality tests pin this) with zero added allocation (the
+// alloc tests pin that).
+//
+// Hierarchy-internal fill and eviction events are reported separately by
+// mem.Hierarchy.SetObserver; a leak oracle installs both.
+func (c *CPU) SetObserver(fn func(Observation)) { c.obsFn = fn }
+
+// observe emits one event; callers nil-check c.obsFn first so the disabled
+// tap costs a single branch.
+func (c *CPU) observe(kind ObsKind, pc, line uint64, lvl mem.Level) {
+	c.obsFn(Observation{PC: pc, Line: line, Kind: kind, Level: lvl, Mode: c.mode})
+}

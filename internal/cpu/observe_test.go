@@ -1,0 +1,186 @@
+package cpu
+
+import (
+	"encoding/json"
+	"testing"
+
+	"specrun/internal/mem"
+	"specrun/internal/proggen"
+)
+
+// --- observer (leak tap) neutrality suite ---
+//
+// The observation tap exists to *watch* the simulation, never to steer it:
+// a tapped machine must execute the exact same state transitions as an
+// untapped one (the emissions pass values the simulation computed anyway),
+// and a machine whose tap was removed again must be indistinguishable from
+// one that never had it — including on the allocator (alloc_test.go covers
+// the steady-state side).
+
+func observerConfigs() map[string]Config {
+	secure := DefaultConfig()
+	secure.Secure.Enabled = true
+	skipinv := DefaultConfig()
+	skipinv.Runahead.SkipINVBranch = true
+	return map[string]Config{
+		"baseline": noRunaheadConfig(),
+		"default":  DefaultConfig(),
+		"secure":   secure,
+		"skipinv":  skipinv,
+	}
+}
+
+// TestObserverNeutrality runs random programs on an untapped and a tapped
+// machine and requires identical statistics and commit streams, while the
+// tap itself must actually see events (a silently dead tap would make the
+// leak oracle vacuously pass).
+func TestObserverNeutrality(t *testing.T) {
+	opt := proggen.DefaultOptions()
+	opt.SecretBytes = 64 // include the Spectre-victim gadget shape
+	var totalObs, totalMemObs int
+	for name, cfg := range observerConfigs() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 10; seed++ {
+				prog := proggen.Generate(seed, opt)
+
+				plain := New(cfg, prog)
+				var plainRecs []CommitRecord
+				plain.SetCommitHook(func(r CommitRecord) { plainRecs = append(plainRecs, r) })
+				if err := plain.Run(20_000_000); err != nil {
+					t.Fatalf("seed %d: untapped: %v", seed, err)
+				}
+
+				tapped := New(cfg, prog)
+				var tappedRecs []CommitRecord
+				tapped.SetCommitHook(func(r CommitRecord) { tappedRecs = append(tappedRecs, r) })
+				nObs, nMemObs := 0, 0
+				tapped.SetObserver(func(Observation) { nObs++ })
+				tapped.Hier().SetObserver(func(mem.CacheEvent) { nMemObs++ })
+				if err := tapped.Run(20_000_000); err != nil {
+					t.Fatalf("seed %d: tapped: %v", seed, err)
+				}
+
+				ps, _ := json.Marshal(plain.Stats())
+				ts, _ := json.Marshal(tapped.Stats())
+				if string(ps) != string(ts) {
+					t.Fatalf("seed %d: stats diverge under the tap:\n  untapped: %s\n  tapped:   %s", seed, ps, ts)
+				}
+				if len(plainRecs) != len(tappedRecs) {
+					t.Fatalf("seed %d: commit stream length %d vs %d", seed, len(plainRecs), len(tappedRecs))
+				}
+				for i := range plainRecs {
+					if plainRecs[i] != tappedRecs[i] {
+						t.Fatalf("seed %d: commit %d diverges: %+v vs %+v", seed, i, plainRecs[i], tappedRecs[i])
+					}
+				}
+				totalObs += nObs
+				totalMemObs += nMemObs
+			}
+		})
+	}
+	if totalObs == 0 || totalMemObs == 0 {
+		t.Fatalf("tap recorded no events (cpu=%d mem=%d) — the observer is dead", totalObs, totalMemObs)
+	}
+}
+
+// TestObserverSurvivesReset pins the hook contract: like the commit hook,
+// an installed observer stays across Reset (the leak oracle's pooled
+// runners install observers once per machine and Reset between programs).
+func TestObserverSurvivesReset(t *testing.T) {
+	opt := proggen.DefaultOptions()
+	opt.SecretBytes = 64
+	progA := proggen.Generate(3, opt)
+	progB := proggen.Generate(4, opt)
+	c := New(DefaultConfig(), progA)
+	n := 0
+	c.SetObserver(func(Observation) { n++ })
+	c.Hier().SetObserver(func(mem.CacheEvent) { n++ })
+	if err := c.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	first := n
+	if first == 0 {
+		t.Fatal("no events before Reset")
+	}
+	c.Reset(progB)
+	if err := c.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if n == first {
+		t.Fatal("observer lost across Reset")
+	}
+}
+
+// TestObservationStrings keeps the event vocabulary printable (the leak
+// oracle renders these in findings).
+func TestObservationStrings(t *testing.T) {
+	kinds := []ObsKind{ObsLoad, ObsPrefetch, ObsStore, ObsFlush, ObsSLPromote}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "?" || seen[s] {
+			t.Fatalf("kind %d renders %q", k, s)
+		}
+		seen[s] = true
+	}
+	if ObsKind(250).String() != "?" {
+		t.Fatal("unknown kind must render ?")
+	}
+}
+
+// TestSkipINVBarrierTraceOnlyDivergence pins the one documented scheduler
+// divergence (trace.go): on the cycle of a mid-issue-phase squash — the
+// SkipINVBranch fetch barrier — the event-driven scheduler's eager counters
+// exclude the squashed uops one cycle before the polling reference's
+// lazily-compacted slices do.  Only the IQ/LQ/SQ fields of a TraceSample
+// may differ, Stats and the commit stream never, and the divergence must
+// actually occur on at least one seed (otherwise the documentation is
+// stale).
+func TestSkipINVBarrierTraceOnlyDivergence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Runahead.SkipINVBranch = true
+	opt := proggen.DefaultOptions()
+
+	divergentSamples := 0
+	for seed := int64(1); seed <= 40; seed++ {
+		prog := proggen.Generate(seed, opt)
+		run := func(poll bool) (*CPU, []CommitRecord, []TraceSample) {
+			c := New(cfg, prog)
+			if poll {
+				c.SetPollingReference(true)
+			}
+			var recs []CommitRecord
+			c.SetCommitHook(func(r CommitRecord) { recs = append(recs, r) })
+			var samples []TraceSample
+			c.SetTracer(1, func(s TraceSample) { samples = append(samples, s) })
+			if err := c.Run(20_000_000); err != nil {
+				t.Fatalf("seed %d (poll=%v): %v", seed, poll, err)
+			}
+			return c, recs, samples
+		}
+		ev, evRecs, evSamples := run(false)
+		po, poRecs, poSamples := run(true)
+		assertEquivalent(t, ev, po, evRecs, poRecs)
+		if len(evSamples) != len(poSamples) {
+			t.Fatalf("seed %d: sample count %d vs %d (cycle counts diverged)", seed, len(evSamples), len(poSamples))
+		}
+		for i := range evSamples {
+			a, b := evSamples[i], poSamples[i]
+			if a == b {
+				continue
+			}
+			divergentSamples++
+			// Zero the occupancy bookkeeping: everything else must agree.
+			a.IQ, a.LQ, a.SQ = 0, 0, 0
+			b.IQ, b.LQ, b.SQ = 0, 0, 0
+			if a != b {
+				t.Fatalf("seed %d cycle %d: divergence beyond IQ/LQ/SQ:\n  event: %+v\n  poll:  %+v",
+					seed, evSamples[i].Cycle, evSamples[i], poSamples[i])
+			}
+		}
+	}
+	if divergentSamples == 0 {
+		t.Fatal("no trace-only divergence observed across 40 seeds — trace.go's caveat may be stale")
+	}
+	t.Logf("trace-only IQ/LQ/SQ divergences: %d samples", divergentSamples)
+}

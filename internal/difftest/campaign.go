@@ -23,6 +23,14 @@ type CampaignSpec struct {
 	// program runs twice on one reused machine with an unrelated program in
 	// between, and the two runs must be identical.
 	Interleave bool `json:"interleave,omitempty"`
+	// Leaks switches the campaign to the microarchitectural leak oracle
+	// (specrun/internal/leak): each seed's program runs twice with two
+	// secret valuations and the speculative observation traces are diffed.
+	// The leak engine owns the execution (leak.Run); difftest.Run rejects a
+	// Leaks spec.  The field lives here so the one wire document — and its
+	// content-addressed cache key — covers both engines (omitempty keeps
+	// every pre-existing spec hash unchanged).
+	Leaks bool `json:"leaks,omitempty"`
 }
 
 // WithDefaults fills the CLI-equivalent defaults, so an explicit default and
@@ -91,6 +99,9 @@ type Report struct {
 // partial report plus the context error.
 func Run(ctx context.Context, spec CampaignSpec, opt sweep.Options) (Report, error) {
 	spec = spec.WithDefaults()
+	if spec.Leaks {
+		return Report{}, fmt.Errorf("difftest: leak campaigns run via specrun/internal/leak")
+	}
 	if spec.Seeds < 1 {
 		return Report{}, fmt.Errorf("difftest: seeds %d out of range", spec.Seeds)
 	}

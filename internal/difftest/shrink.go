@@ -19,9 +19,16 @@ func Shrink(ctx context.Context, seed int64, opt proggen.Options, nc NamedConfig
 	})
 }
 
-// shrinkWith is the generic reduction loop over an arbitrary failure
-// predicate (split out so the reduction strategy itself is testable without
-// a real divergence).
+// ShrinkWith is the generic reduction loop over an arbitrary failure
+// predicate: the leak oracle (specrun/internal/leak) reuses the exact
+// difftest reduction strategy with "still leaks under this config" as the
+// predicate, so leak reproducers minimize the same way divergences do.
+func ShrinkWith(ctx context.Context, opt proggen.Options, fails func(proggen.Options) bool) proggen.Options {
+	return shrinkWith(ctx, opt, fails)
+}
+
+// shrinkWith is the reduction loop (split out so the strategy itself is
+// testable without a real divergence).
 func shrinkWith(ctx context.Context, opt proggen.Options, fails func(proggen.Options) bool) proggen.Options {
 	// Feature ablation, most structural first.  Each trial regenerates the
 	// whole program (the RNG stream shifts), so a reduction is kept only

@@ -31,7 +31,40 @@ type Interp struct {
 
 	Steps  uint64
 	Halted bool
+
+	obsFn func(Observation) // leak-oracle tap (SetObserver); kept across Reset
 }
+
+// ObsKind classifies one sequential-semantics memory observation.
+type ObsKind uint8
+
+const (
+	// ObsLoad is an architecturally executed load (including RET's pop).
+	ObsLoad ObsKind = iota
+	// ObsStore is an architecturally executed store (including CALL's push).
+	ObsStore
+	// ObsFlush is an executed CLFLUSH: architecturally a no-op, but its
+	// target address is attacker-visible cache-state change, so the
+	// sequential baseline must include it.
+	ObsFlush
+)
+
+// Observation is one memory-side event of the sequential (in-order,
+// non-speculative) semantics.  The leak oracle runs a program twice with
+// two secret valuations: if the sequential observation traces are equal,
+// any difference between the corresponding *pipeline* traces is a purely
+// speculative, secret-dependent effect — a SPECRUN-style leak.  Addresses
+// are raw effective addresses (callers align to lines as needed).
+type Observation struct {
+	PC   uint64
+	Addr uint64
+	Kind ObsKind
+}
+
+// SetObserver installs fn to receive one Observation per executed memory
+// access, in program order (nil removes it).  The hook survives Reset and
+// runs synchronously inside Step.
+func (it *Interp) SetObserver(fn func(Observation)) { it.obsFn = fn }
 
 // New builds an interpreter for prog with data segments loaded into a fresh
 // memory image.
@@ -108,6 +141,9 @@ func (it *Interp) Step() (bool, error) {
 		}
 	case isa.KindLoad:
 		addr := isa.EffAddr(in, it.readReg(in.Rs1), it.indexVal(in))
+		if it.obsFn != nil {
+			it.obsFn(Observation{PC: it.PC, Addr: addr, Kind: ObsLoad})
+		}
 		switch in.Op {
 		case isa.VLD:
 			it.VecReg[in.Rd.Idx()] = [2]uint64{it.Mem.ReadU64(addr), it.Mem.ReadU64(addr + 8)}
@@ -116,6 +152,9 @@ func (it *Interp) Step() (bool, error) {
 		}
 	case isa.KindStore:
 		addr := isa.EffAddr(in, it.readReg(in.Rs1), it.indexVal(in))
+		if it.obsFn != nil {
+			it.obsFn(Observation{PC: it.PC, Addr: addr, Kind: ObsStore})
+		}
 		switch in.Op {
 		case isa.VST:
 			v := it.VecReg[in.Rs3.Idx()]
@@ -134,6 +173,9 @@ func (it *Interp) Step() (bool, error) {
 		next = it.readReg(in.Rs1)
 	case isa.KindCall, isa.KindCallR:
 		sp := it.readReg(isa.SP) - 8
+		if it.obsFn != nil {
+			it.obsFn(Observation{PC: it.PC, Addr: sp, Kind: ObsStore})
+		}
 		it.Mem.WriteU64(sp, it.PC+isa.InstBytes)
 		it.writeReg(isa.SP, sp)
 		if in.Op.Kind() == isa.KindCall {
@@ -143,11 +185,20 @@ func (it *Interp) Step() (bool, error) {
 		}
 	case isa.KindRet:
 		sp := it.readReg(isa.SP)
+		if it.obsFn != nil {
+			it.obsFn(Observation{PC: it.PC, Addr: sp, Kind: ObsLoad})
+		}
 		next = it.Mem.ReadU64(sp)
 		it.writeReg(isa.SP, sp+8)
 	case isa.KindRDTSC:
 		it.writeReg(in.Rd, it.Steps)
-	case isa.KindFlush, isa.KindNop, isa.KindFence:
+	case isa.KindFlush:
+		// Architecturally invisible, but the flushed line is observable
+		// cache state — record it for the leak oracle's baseline.
+		if it.obsFn != nil {
+			it.obsFn(Observation{PC: it.PC, Addr: isa.EffAddr(in, it.readReg(in.Rs1), 0), Kind: ObsFlush})
+		}
+	case isa.KindNop, isa.KindFence:
 		// Architecturally invisible.
 	case isa.KindHalt:
 		it.Halted = true

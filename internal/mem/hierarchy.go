@@ -89,6 +89,42 @@ func DefaultConfig() Config {
 	}
 }
 
+// CacheEventKind classifies one hierarchy state change.
+type CacheEventKind uint8
+
+const (
+	// CacheFill is a line installed into a level (demand fill, MSHR merge
+	// target, prefetch or store drain alike — every install is a fill).
+	CacheFill CacheEventKind = iota
+	// CacheEvict is the victim a fill displaced from its set.
+	CacheEvict
+)
+
+func (k CacheEventKind) String() string {
+	if k == CacheEvict {
+		return "evict"
+	}
+	return "fill"
+}
+
+// CacheEvent is one data-side cache state change: the residency transitions
+// an attacker sharing the hierarchy could measure by probing.  Events carry
+// no cycle numbers — the leak oracle compares event *sequences*, where pure
+// timing shifts must not register as divergence.
+type CacheEvent struct {
+	Line  uint64         // line-aligned address
+	Level Level          // level whose state changed
+	Kind  CacheEventKind //
+}
+
+// SetObserver installs fn to receive one CacheEvent per data-side fill and
+// per eviction it causes, in simulation order (nil removes it).  The hook
+// survives Reset.  Instruction-side (PortI) traffic is not reported: the
+// observation model is a data-cache prime-and-probe attacker.  Emission
+// sites are nil-checked and pass values the simulation computed anyway, so
+// a disabled tap changes nothing and allocates nothing.
+func (h *Hierarchy) SetObserver(fn func(CacheEvent)) { h.obsFn = fn }
+
 // Result reports the outcome of a timing access.
 type Result struct {
 	Done  uint64 // cycle at which the data is available
@@ -111,6 +147,8 @@ type Hierarchy struct {
 
 	busFree  uint64   // next cycle the memory channel can accept a request
 	inflight []uint64 // completion cycles of outstanding memory requests
+
+	obsFn func(CacheEvent) // leak tap (SetObserver); kept across Reset
 
 	Stats HierarchyStats
 }
@@ -216,10 +254,19 @@ func (h *Hierarchy) writeback(now uint64) {
 	h.busFree = start + uint64(h.cfg.MemBusCycles)
 }
 
-func (h *Hierarchy) install(c *Cache, lineAddr, fillDone uint64, dirty bool) {
-	_, evictedDirty, had := c.Insert(lineAddr, fillDone, dirty)
+// install inserts a line into one level, modelling the victim's write-back
+// and — for observed (data-side) fills — reporting the fill and any eviction
+// to the leak tap.
+func (h *Hierarchy) install(c *Cache, lv Level, lineAddr, fillDone uint64, dirty, observe bool) {
+	evicted, evictedDirty, had := c.Insert(lineAddr, fillDone, dirty)
 	if had && evictedDirty {
 		h.writeback(fillDone)
+	}
+	if observe && h.obsFn != nil {
+		h.obsFn(CacheEvent{Line: lineAddr, Level: lv, Kind: CacheFill})
+		if had {
+			h.obsFn(CacheEvent{Line: evicted, Level: lv, Kind: CacheEvict})
+		}
 	}
 }
 
@@ -231,6 +278,7 @@ func (h *Hierarchy) install(c *Cache, lineAddr, fillDone uint64, dirty bool) {
 func (h *Hierarchy) Access(port Port, addr, now uint64, write bool) Result {
 	la := h.LineAddr(addr)
 	l1 := h.l1(port)
+	obs := port == PortD
 
 	lat := now + uint64(l1.Config().Latency)
 	if hit, ready := l1.Lookup(la, now); hit {
@@ -243,22 +291,22 @@ func (h *Hierarchy) Access(port Port, addr, now uint64, write bool) Result {
 	lat += uint64(h.l2.Config().Latency)
 	if hit, ready := h.l2.Lookup(la, now); hit {
 		done := maxU64(lat, ready)
-		h.install(l1, la, done, write)
+		h.install(l1, LevelL1, la, done, write, obs)
 		return Result{Done: done, Level: LevelL2}
 	}
 
 	lat += uint64(h.l3.Config().Latency)
 	if hit, ready := h.l3.Lookup(la, now); hit {
 		done := maxU64(lat, ready)
-		h.install(h.l2, la, done, false)
-		h.install(l1, la, done, write)
+		h.install(h.l2, LevelL2, la, done, false, obs)
+		h.install(l1, LevelL1, la, done, write, obs)
 		return Result{Done: done, Level: LevelL3}
 	}
 
 	done := h.memRequest(lat)
-	h.install(h.l3, la, done, false)
-	h.install(h.l2, la, done, false)
-	h.install(l1, la, done, write)
+	h.install(h.l3, LevelL3, la, done, false, obs)
+	h.install(h.l2, LevelL2, la, done, false, obs)
+	h.install(l1, LevelL1, la, done, write, obs)
 	return Result{Done: done, Level: LevelMem}
 }
 

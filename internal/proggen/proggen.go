@@ -28,6 +28,14 @@ type Options struct {
 	Gadgets    bool `json:"gadgets"`   // allow bounds-check/gadget-shaped address patterns
 	BufBytes   int  `json:"buf_bytes"` // scratch buffer size (power of two)
 	StackBytes int  `json:"stack_bytes"`
+	// SecretBytes > 0 allocates a secret region directly after the scratch
+	// buffer (a multiple of 64, so it is line-aligned) and adds a
+	// Spectre-victim gadget shape whose *committed* accesses never touch it
+	// but whose transient reach covers it — the program family the leak
+	// oracle (specrun/internal/leak) runs under two secret valuations.
+	// Zero (the default) leaves generation byte-identical to earlier
+	// versions: no extra allocation, no extra gadget shape, same RNG stream.
+	SecretBytes int `json:"secret_bytes,omitempty"`
 }
 
 // DefaultOptions covers the whole ISA.
@@ -59,6 +67,19 @@ func (o Options) WithDefaults() Options {
 // Generate builds a random program from seed.  The returned program halts
 // within a bounded number of steps by construction.
 func Generate(seed int64, opt Options) *asm.Program {
+	prog, _ := GenerateWithInfo(seed, opt)
+	return prog
+}
+
+// Info reports the memory geometry of a generated program.
+type Info struct {
+	BufAddr    uint64 // scratch buffer base ("buf")
+	SecretAddr uint64 // secret region base ("secret"); 0 when SecretBytes == 0
+}
+
+// GenerateWithInfo is Generate plus the geometry a leak harness needs to
+// install secret valuations before each run.
+func GenerateWithInfo(seed int64, opt Options) (*asm.Program, Info) {
 	opt = opt.WithDefaults()
 	g := &gen{
 		rng: rand.New(rand.NewSource(seed)),
@@ -78,8 +99,24 @@ type gen struct {
 
 // Register conventions: r1..r10 data, r11/r12 loop counters, r20 buffer
 // base, sp stack.  f1..f6 and v1..v4 for FP/vector.
-func (g *gen) run() *asm.Program {
+func (g *gen) run() (*asm.Program, Info) {
 	buf := g.b.Alloc("buf", uint64(g.opt.BufBytes), 64)
+	var secret uint64
+	if g.opt.SecretBytes > 0 {
+		// The secret sits directly after the (line-aligned, power-of-two)
+		// buffer, and a pad extends the allocation to buf+2*BufBytes so the
+		// leak gadget's transient index span [0, 2*BufBytes) never reaches
+		// unallocated memory.  The region is zero-initialised; the leak
+		// harness pokes each secret valuation in before every run.
+		n := (uint64(g.opt.SecretBytes) + 63) &^ 63
+		if n > uint64(g.opt.BufBytes) {
+			n = uint64(g.opt.BufBytes)
+		}
+		secret = g.b.Alloc("secret", n, 64)
+		if pad := uint64(g.opt.BufBytes) - n; pad > 0 {
+			g.b.Alloc("leakpad", pad, 64)
+		}
+	}
 	stack := g.b.Alloc("stack", uint64(g.opt.StackBytes), 64)
 	// Pre-initialise the buffer with pseudo-random data.
 	initWords := make([]uint64, g.opt.BufBytes/8)
@@ -122,7 +159,7 @@ func (g *gen) run() *asm.Program {
 		}
 		g.b.Ret()
 	}
-	return g.b.MustBuild()
+	return g.b.MustBuild(), Info{BufAddr: buf, SecretAddr: secret}
 }
 
 func (g *gen) label(prefix string) string {
@@ -254,13 +291,48 @@ func (g *gen) vecOp() {
 // shape), a dependent-address load pair (a loaded value feeds the next load
 // address — the leak shape, and during runahead an INV value feeding an
 // address), or an indexed store at a data-dependent address (dynamic
-// store-queue disambiguation).  Architectural addresses are masked into the
-// scratch buffer, so the reference interpreter and the OoO core agree on
-// every committed access; only the *speculative* address stream differs.
+// store-queue disambiguation).  With SecretBytes set, a fourth shape is a
+// Spectre victim whose transient reach covers the secret region.
+// Architectural addresses are masked (or bounds-checked) into the scratch
+// buffer, so the reference interpreter and the OoO core agree on every
+// committed access; only the *speculative* address stream differs.
 func (g *gen) gadget() {
 	byteMask := int64(g.opt.BufBytes - 1)
 	elemMask := int64(g.opt.BufBytes/8 - 1)
-	switch g.rng.Intn(3) {
+	shapes := 3
+	if g.opt.SecretBytes > 0 {
+		shapes = 4 // the Spectre-victim shape below needs the secret region
+	}
+	switch g.rng.Intn(shapes) {
+	case 3:
+		// Spectre victim reaching the secret.  The bounds check compares
+		// against a bound loaded from a just-flushed buffer line, so — like
+		// the handwritten PoCs — its resolution stalls for a full memory
+		// round-trip and the misprediction window spans the stall (long
+		// enough for runahead to run the transient body).  The masked bound
+		// is always below BufBytes while the index always points into the
+		// secret region, so the branch is architecturally always taken and
+		// the sequential baseline cannot depend on the secret.  Transiently,
+		// the loaded secret byte is spread across line-sized slots of the
+		// [0, 2*BufBytes) span and touched — the covert-channel observation.
+		skip := g.label("leakb")
+		span := 1
+		for span*2 <= g.opt.SecretBytes && span*2 <= g.opt.BufBytes {
+			span *= 2
+		}
+		idx, bound, val, t := g.reg(), g.reg(), g.reg(), g.reg()
+		off := g.bufOff(8)
+		g.b.Clflush(isa.R(20), off)
+		g.b.Ld(bound, isa.R(20), off)
+		g.b.Andi(bound, bound, byteMask)
+		g.b.Andi(idx, g.reg(), int64(span-1))
+		g.b.Addi(idx, idx, int64(g.opt.BufBytes))
+		g.b.Bgeu(idx, bound, skip)
+		g.b.Ldbx(val, isa.R(20), idx, 0, 0)
+		g.b.Shli(t, val, 6)
+		g.b.Andi(t, t, int64(2*g.opt.BufBytes-1))
+		g.b.Ldbx(g.reg(), isa.R(20), t, 0, 0)
+		g.b.Label(skip)
 	case 0:
 		// Bounds check guarding an indexed word load: blt/bgeu steers past
 		// the access for out-of-bound indices, both outcomes are reachable.

@@ -8,6 +8,7 @@ import (
 
 	"specrun/internal/core"
 	"specrun/internal/difftest"
+	"specrun/internal/leak"
 	"specrun/internal/sweep"
 )
 
@@ -33,7 +34,23 @@ func (r FuzzRequest) resolve() (difftest.CampaignSpec, error) {
 	if _, err := spec.Configs(); err != nil {
 		return spec, err
 	}
+	if spec.Leaks && spec.Interleave {
+		return spec, fmt.Errorf("fuzz: leaks and interleave are mutually exclusive oracles")
+	}
 	return spec, nil
+}
+
+// runCampaign dispatches the spec to its engine: the microarchitectural
+// leak oracle for Leaks specs, the architectural differential oracle
+// otherwise.  Both reports are deterministic and Encode the same way, so
+// the caching and job plumbing stay engine-agnostic.
+func runCampaign(ctx context.Context, spec difftest.CampaignSpec, opt sweep.Options) (any, int, error) {
+	if spec.Leaks {
+		rep, err := leak.Run(ctx, spec, opt)
+		return rep, rep.Configs, err
+	}
+	rep, err := difftest.Run(ctx, spec, opt)
+	return rep, rep.Configs, err
 }
 
 // handleFuzz serves POST /v1/run/fuzz.  Campaign reports are deterministic
@@ -57,7 +74,7 @@ func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
 	}
 	body, hit, err := s.cache.Do(r.Context(), key, func() ([]byte, error) {
 		s.simulations.Add(1)
-		rep, runErr := difftest.Run(s.simCtx(), spec, sweep.Options{Workers: req.Workers})
+		rep, _, runErr := runCampaign(s.simCtx(), spec, sweep.Options{Workers: req.Workers})
 		if runErr != nil {
 			// A cancelled campaign holds partial rows — transient state that
 			// must not become the permanent entry for this key.
@@ -90,16 +107,16 @@ func (s *Server) runFuzzJob(ctx context.Context, id string, req FuzzRequest) {
 		return
 	}
 	s.simulations.Add(1)
-	rep, runErr := difftest.Run(sweep.WithGate(ctx, s.gate), spec, sweep.Options{
+	rep, configs, runErr := runCampaign(sweep.WithGate(ctx, s.gate), spec, sweep.Options{
 		Workers:    req.Workers,
 		OnProgress: func(done, total int) { s.jobs.progress(id, done, total) },
 	})
 	if runErr != nil {
 		cancelled := errors.Is(runErr, context.Canceled)
-		// A cancelled campaign still carries the divergences found so far —
+		// A cancelled campaign still carries the findings found so far —
 		// store the partial report on the job (like cancelled sweeps do)
 		// without letting it become the permanent cache entry.
-		if cancelled && rep.Configs > 0 {
+		if cancelled && configs > 0 {
 			if body, encErr := Encode(rep); encErr == nil {
 				s.jobs.finish(id, body, "", true)
 				return

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"specrun/internal/difftest"
+	"specrun/internal/leak"
 	"specrun/internal/sweep"
 )
 
@@ -111,5 +112,87 @@ func TestFuzzJob(t *testing.T) {
 	code, _, body = do(t, "POST", ts.URL+"/v1/jobs", `{"driver": "ipc", "fuzz": {"seeds": 2}}`)
 	if code != http.StatusBadRequest {
 		t.Fatalf("conflicting job accepted: %d %s", code, body)
+	}
+}
+
+// TestLeakJob covers the leak-oracle arm of POST /v1/jobs: the "leaks"
+// driver alias flips the spec to the leak engine, the job completes with a
+// leak.Report, and the oracle conflicts are rejected up front.
+func TestLeakJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, _, body := do(t, "POST", ts.URL+"/v1/jobs", `{"driver": "leaks", "fuzz": {"seeds": 2, "no_shrink": true}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Kind != "fuzz" {
+		t.Fatalf("kind = %q, want fuzz", view.Kind)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, _, body = do(t, "GET", ts.URL+"/v1/jobs/"+view.ID, "")
+		if code != http.StatusOK {
+			t.Fatalf("get: %d %s", code, body)
+		}
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.Status != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leak job did not finish in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if view.Status != JobDone {
+		t.Fatalf("job status = %s (%s)", view.Status, view.Error)
+	}
+	var rep leak.Report
+	if err := json.Unmarshal(view.Result, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Spec.Leaks {
+		t.Fatal("job result is not a leak-oracle report")
+	}
+	if !rep.Clean {
+		t.Fatalf("leak job reported oracle errors: %+v", rep.Findings)
+	}
+	if len(rep.Corpus) == 0 {
+		t.Fatal("leak report carries no golden-corpus rows")
+	}
+	// The golden corpus must behave inside the server exactly as in the
+	// engine's own tests: defenses off leaks, SL defense silent.
+	for _, row := range rep.Corpus {
+		switch row.Config {
+		case "original-rob256":
+			if !row.Leak {
+				t.Errorf("corpus %s/%s: expected leak with defenses off", row.Program, row.Config)
+			}
+		case "original-rob256-secure":
+			if row.Leak {
+				t.Errorf("corpus %s/%s: SL defense failed to suppress", row.Program, row.Config)
+			}
+		}
+	}
+	// The two oracles are mutually exclusive.
+	code, _, body = do(t, "POST", ts.URL+"/v1/jobs", `{"fuzz": {"seeds": 2, "leaks": true, "interleave": true}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("leaks+interleave accepted: %d %s", code, body)
+	}
+	// And the synchronous endpoint dispatches on the same spec field.
+	code, _, body = do(t, "POST", ts.URL+"/v1/run/fuzz", `{"seeds": 2, "leaks": true, "no_shrink": true}`)
+	if code != http.StatusOK {
+		t.Fatalf("sync leak campaign: %d %s", code, body)
+	}
+	var sync leak.Report
+	if err := json.Unmarshal(body, &sync); err != nil {
+		t.Fatal(err)
+	}
+	if !sync.Spec.Leaks || len(sync.Corpus) == 0 {
+		t.Fatalf("sync endpoint did not run the leak engine: %s", body)
 	}
 }

@@ -188,10 +188,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // --- async jobs ---
 
 // JobRequest is the body of POST /v1/jobs: a run driver (Driver +
-// RunRequest fields), a sweep (Sweep spec) or a differential fuzzing
-// campaign (Fuzz spec), executed asynchronously.
+// RunRequest fields), a sweep (Sweep spec) or a fuzzing campaign (Fuzz
+// spec; driver "fuzz" for the architectural differential oracle, "leaks"
+// for the microarchitectural leak oracle), executed asynchronously.
 type JobRequest struct {
-	Driver string       `json:"driver,omitempty"` // run driver name, "sweep" or "fuzz"
+	Driver string       `json:"driver,omitempty"` // run driver name, "sweep", "fuzz" or "leaks"
 	Sweep  *SweepSpec   `json:"sweep,omitempty"`
 	Fuzz   *FuzzRequest `json:"fuzz,omitempty"`
 	RunRequest
@@ -214,8 +215,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // startJob validates the request, registers the job and launches its
 // runner goroutine.
 func (s *Server) startJob(req JobRequest) (JobView, error) {
-	if req.Fuzz != nil || req.Driver == "fuzz" {
-		if req.Driver != "" && req.Driver != "fuzz" {
+	if req.Fuzz != nil || req.Driver == "fuzz" || req.Driver == "leaks" {
+		if req.Driver != "" && req.Driver != "fuzz" && req.Driver != "leaks" {
 			return JobView{}, fmt.Errorf("job: driver %q conflicts with fuzz spec", req.Driver)
 		}
 		if req.Sweep != nil {
@@ -227,6 +228,12 @@ func (s *Server) startJob(req JobRequest) (JobView, error) {
 		}
 		if fz.Workers == 0 {
 			fz.Workers = req.Workers
+		}
+		// The "leaks" alias flips the spec to the leak oracle ("leak" already
+		// names the attack byte-extraction driver); an explicit Fuzz spec with
+		// Leaks set and the plain "fuzz" driver is equivalent.
+		if req.Driver == "leaks" {
+			fz.Leaks = true
 		}
 		// Validate before accepting, so a bad campaign 400s instead of
 		// surfacing as a failed job.
