@@ -20,7 +20,11 @@
 //	specrun bench [flags]      Fig. 7/9/10/11 benchmark metrics as one stable
 //	                           JSON document (the CI perf artifact)
 //	specrun serve [flags]      simulation-as-a-service HTTP API with a
-//	                           content-addressed result cache
+//	                           content-addressed result cache, /metrics and
+//	                           structured request logging
+//	specrun trace [flags]      per-uop pipeline lifecycle trace of a kernel,
+//	                           proggen seed or attack PoC (Kanata, gem5
+//	                           O3PipeView, JSONL or occupancy CSV)
 //	specrun version            module version / VCS revision
 //	specrun all                everything above, in paper order
 //
@@ -36,9 +40,7 @@ import (
 
 	"specrun/internal/attack"
 	"specrun/internal/core"
-	"specrun/internal/cpu"
 	"specrun/internal/server"
-	"specrun/internal/workload"
 )
 
 func main() {
@@ -130,45 +132,6 @@ func printDriverJSON(driver string) error {
 	}
 	_, err = os.Stdout.Write(b)
 	return err
-}
-
-// runTrace simulates one Fig. 7 kernel with the pipeline tracer attached and
-// writes per-cycle occupancy samples as CSV (runahead episodes appear as
-// sawtooths in the ROB column).
-func runTrace(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
-	bench := fs.String("bench", "Gems", "workload kernel to trace")
-	every := fs.Uint64("every", 50, "cycles between samples")
-	out := fs.String("out", "", "output file (default stdout)")
-	noRA := fs.Bool("no-runahead", false, "trace the baseline machine instead")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	k, err := workload.ByName(*bench)
-	if err != nil {
-		return err
-	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	cfg := core.DefaultConfig()
-	if *noRA {
-		cfg = core.BaselineConfig()
-	}
-	m := core.NewMachine(cfg, k.Build())
-	m.SetTracer(*every, cpu.CSVTracer(w))
-	if err := m.Run(50_000_000); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "traced %s: %d cycles, %d episodes\n",
-		k.Name, m.Stats().Cycles, m.Stats().RunaheadEpisodes)
-	return nil
 }
 
 func runIPC(args []string) error {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -19,17 +20,41 @@ import (
 // synchronously at POST /v1/sweep or asynchronously via /v1/jobs, and
 // deterministic results are memoized in a content-addressed cache.
 //
-//	specrun serve --addr :8080 --workers 8 --cache-entries 1024
+// Prometheus metrics are served on GET /metrics; structured request and
+// job logs go to stderr (--log-format json for machine-readable lines,
+// --quiet to silence them); --pprof mounts net/http/pprof.
+//
+//	specrun serve --addr :8080 --workers 8 --cache-entries 1024 --log-format json
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "server-wide simulation budget (0 = GOMAXPROCS)")
 	cacheEntries := fs.Int("cache-entries", 512, "result-cache capacity in entries")
+	logFormat := fs.String("log-format", "text", "request/job log encoding: text | json")
+	quiet := fs.Bool("quiet", false, "disable request and job logging")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.Options{Workers: *workers, CacheEntries: *cacheEntries})
+	var logger *slog.Logger
+	if !*quiet {
+		switch *logFormat {
+		case "text":
+			logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		case "json":
+			logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		default:
+			return fmt.Errorf("serve: unknown log format %q (text | json)", *logFormat)
+		}
+	}
+
+	srv := server.New(server.Options{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		Logger:       logger,
+		EnablePprof:  *enablePprof,
+	})
 	defer srv.Close()
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"specrun/internal/asm"
 	"specrun/internal/attack"
@@ -111,6 +112,11 @@ type poolLRU struct {
 	ll        *list.List // front = most recently used; values are *poolEntry
 	entries   map[string]*list.Element
 	evictions uint64
+	// Reuse counters: a hit recycled a warm machine via Reset, a miss built
+	// one from scratch.  Updated lock-free from RunProgramStats (pool.Get
+	// happens outside the LRU lock).
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 type poolEntry struct {
@@ -147,10 +153,12 @@ type PoolStats struct {
 	Configs   int    `json:"configs"`   // configurations with a live pool
 	Capacity  int    `json:"capacity"`  // LRU bound
 	Evictions uint64 `json:"evictions"` // configurations dropped since process start
+	Hits      uint64 `json:"hits"`      // jobs that recycled a warm machine
+	Misses    uint64 `json:"misses"`    // jobs that built a machine from scratch
 }
 
 // MachinePoolStats returns the current machine-pool counters (served on
-// GET /v1/stats).
+// GET /v1/stats and /metrics).
 func MachinePoolStats() PoolStats {
 	machinePools.mu.Lock()
 	defer machinePools.mu.Unlock()
@@ -158,6 +166,8 @@ func MachinePoolStats() PoolStats {
 		Configs:   len(machinePools.entries),
 		Capacity:  machinePoolCap,
 		Evictions: machinePools.evictions,
+		Hits:      machinePools.hits.Load(),
+		Misses:    machinePools.misses.Load(),
 	}
 }
 
@@ -184,8 +194,10 @@ func RunProgramStats(cfg Config, prog *asm.Program) (cpu.Stats, error) {
 	}
 	m := pool.Get()
 	if m == nil {
+		machinePools.misses.Add(1)
 		m = NewMachine(cfg, prog)
 	} else {
+		machinePools.hits.Add(1)
 		m.Reset(prog)
 	}
 	err := m.Run(defaultBudget)

@@ -68,3 +68,35 @@ func TestMachinePoolStableUnderReuse(t *testing.T) {
 		t.Fatalf("reusing one configuration evicted %d pools", after-before)
 	}
 }
+
+// Pool reuse counters: the first job for a configuration is a miss, repeats
+// on the same sequential pool are hits.  Every run is exactly one hit or
+// one miss; the hit guarantee only holds without the race detector, whose
+// sync.Pool randomly drops Puts.
+func TestMachinePoolHitMissCounters(t *testing.T) {
+	prog := workload.Kernels()[0].Build()
+	cfg := BaselineConfig()
+	cfg.FrontQ = 9999 // unique key: this test owns its pool
+
+	before := MachinePoolStats()
+	if _, err := RunProgramStats(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+	mid := MachinePoolStats()
+	if gained := mid.Misses - before.Misses; gained != 1 {
+		t.Fatalf("first run grew misses by %d, want 1", gained)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := RunProgramStats(cfg, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := MachinePoolStats()
+	hits, misses := after.Hits-mid.Hits, after.Misses-mid.Misses
+	if hits+misses != 3 {
+		t.Fatalf("3 repeats recorded %d hits + %d misses, want 3 total", hits, misses)
+	}
+	if !raceEnabled && hits < 3 {
+		t.Fatalf("repeats grew hits by %d, want >= 3", hits)
+	}
+}

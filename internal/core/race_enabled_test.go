@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, under which sync.Pool randomly drops Puts — pool-reuse tests
+// must not demand deterministic hits there.
+const raceEnabled = true

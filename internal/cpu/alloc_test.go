@@ -137,6 +137,56 @@ func TestTickLoopZeroAllocTapDisabled(t *testing.T) {
 	}
 }
 
+// TestTickLoopZeroAllocTracerDisabled extends the inertness contract to the
+// lifecycle tracer: a machine that had a per-uop tracer installed and then
+// removed (SetTracer(nil)) must be exactly as allocation-free as one that
+// never had it.  With the tracer installed, the events themselves pass by
+// value through the callback, so the emission sites allocate nothing either
+// — only the caller's own sink can.
+func TestTickLoopZeroAllocTracerDisabled(t *testing.T) {
+	const footprint = 1 << 20
+	prog := streamLoop(t, footprint)
+	c := New(tickLoopConfig(), prog)
+	events := 0
+	c.SetTracer(func(TraceEvent) { events++ })
+	for a := uint64(0); a < footprint; a += 1 << 12 {
+		c.Mem().SetByte(prog.MustSym("buf")+a, 0)
+	}
+	if err := c.Run(300_000); !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("warmup: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("tracer saw no events during warmup; the test lost its coverage")
+	}
+	if c.Stats().RunaheadEpisodes == 0 {
+		t.Fatal("tick-loop workload triggered no runahead episodes; the test lost its coverage")
+	}
+	grown := make([]uint64, len(c.stats.EpisodeReaches), 1<<16)
+	copy(grown, c.stats.EpisodeReaches)
+	c.stats.EpisodeReaches = grown
+
+	// Still traced: the emission sites themselves must not allocate (the
+	// counting sink above closes over an int that already escaped).
+	avg := testing.AllocsPerRun(5, func() {
+		if err := c.Run(20_000); !errors.Is(err, ErrMaxCycles) {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("tick loop with tracer installed allocates: %.1f allocs per 20k cycles, want 0", avg)
+	}
+
+	c.SetTracer(nil)
+	avg = testing.AllocsPerRun(5, func() {
+		if err := c.Run(20_000); !errors.Is(err, ErrMaxCycles) {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("tick loop with removed tracer allocates: %.1f allocs per 20k cycles, want 0", avg)
+	}
+}
+
 // TestResetReuseZeroAlloc pins the machine-reuse half of the tentpole: after
 // one warmup pass, Reset + full re-run of the same program allocates
 // nothing.

@@ -28,8 +28,14 @@ func (c *CPU) commitPhase(now uint64) {
 		c.rob.popFront()
 		if c.mode == ModeNormal {
 			c.retire(u, now)
+			if c.traceFn != nil {
+				c.traceEmit(TraceCommit, u)
+			}
 		} else {
 			c.pseudoRetire(u, now)
+			if c.traceFn != nil {
+				c.traceEmit(TracePseudoRetire, u)
+			}
 		}
 		c.releasePRF(u)
 		c.removeFromLSQ(u)
@@ -351,6 +357,11 @@ func (c *CPU) enterRunahead(stalling *uop, now uint64) {
 	c.poisonSlowLoad(stalling, now)
 	stalling.stage = stDone
 	stalling.doneAt = now
+	if c.traceFn != nil {
+		// The poison IS this load's completion: writeback skips stDone uops,
+		// so the lifecycle event is emitted here.
+		c.traceEmit(TraceComplete, stalling)
+	}
 	if !c.pollSched {
 		c.wakeWaiters(stalling, now)
 	}

@@ -22,6 +22,7 @@ package cpu
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"specrun/internal/asm"
 	"specrun/internal/branch"
@@ -282,12 +283,14 @@ type CPU struct {
 	// debugRA, when set, receives a line per runahead entry/exit (tests).
 	debugRA func(format string, args ...any)
 
-	// Pipeline tracing (SetTracer), commit-stream observation
-	// (SetCommitHook) and the microarchitectural leak tap (SetObserver).
-	traceEvery uint64
-	traceFn    func(TraceSample)
-	commitFn   func(CommitRecord)
-	obsFn      func(Observation)
+	// Observation hooks: occupancy sampling (SetSampler), per-uop lifecycle
+	// tracing (SetTracer), commit-stream observation (SetCommitHook) and the
+	// microarchitectural leak tap (SetObserver).
+	sampleEvery uint64
+	sampleFn    func(Sample)
+	traceFn     func(TraceEvent)
+	commitFn    func(CommitRecord)
+	obsFn       func(Observation)
 }
 
 // New builds a CPU running prog.  The program's data segments are loaded
@@ -339,7 +342,8 @@ func New(cfg Config, prog *asm.Program) *CPU {
 // indistinguishable from New(cfg, prog) — same cycle-level timing, same
 // statistics — which the regression tests pin; sweep and difftest workers
 // rely on it to run one machine per worker instead of one per job.
-// Installed observers (SetTracer, SetCommitHook, debug hooks) are kept.
+// Installed observers (SetSampler, SetTracer, SetCommitHook, debug hooks)
+// are kept.
 func (c *CPU) Reset(prog *asm.Program) {
 	// Drain the pipeline back into the pool (stores leave the
 	// disambiguation index first, while their chain nodes are still live).
@@ -449,11 +453,27 @@ func (c *CPU) Mode() Mode { return c.mode }
 // Run declares a deadlock.
 const progressWindow = 200_000
 
+// simCycles is the process-wide count of cycles simulated by every Run call
+// on every machine — the service-level "work done" meter exported on the
+// server's /metrics endpoint.  One atomic add per Run keeps it off the tick
+// loop's profile.
+var simCycles atomic.Uint64
+
+// SimCyclesTotal reports the total cycles simulated process-wide.
+func SimCyclesTotal() uint64 { return simCycles.Load() }
+
 // Run advances the machine until HALT commits or maxCycles elapse.
 // Stats.Cycles is brought up to date on every exit path, including the
 // deadlock one — callers inspecting IPC() after an error see the cycles the
 // machine actually burned, not a stale count from a previous Run call.
 func (c *CPU) Run(maxCycles uint64) error {
+	start := c.cycle
+	err := c.run(maxCycles)
+	simCycles.Add(c.cycle - start)
+	return err
+}
+
+func (c *CPU) run(maxCycles uint64) error {
 	limit := c.cycle + maxCycles
 	for !c.halted && c.cycle < limit {
 		c.step()
@@ -492,7 +512,7 @@ func (c *CPU) step() {
 	if c.rob.full() {
 		c.stats.ROBFullCycles++
 	}
-	c.traceTick()
+	c.sampleTick()
 	c.cycle++
 
 	// Recycle uops squashed one full step ago: every lazily-compacted queue

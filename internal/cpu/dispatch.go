@@ -65,6 +65,9 @@ func (c *CPU) dispatchPhase(now uint64) {
 		c.frontQ.popFront()
 		c.stats.Dispatched++
 		c.dispatchedNow++
+		if c.traceFn != nil {
+			c.traceEmit(TraceDispatch, u)
+		}
 		if c.mode == ModeRunahead && u.seq > c.ra.maxSeq {
 			c.ra.maxSeq = u.seq
 		}
@@ -82,6 +85,9 @@ func (c *CPU) dispatchPhase(now uint64) {
 			// NOP / FENCE / HALT complete without backend resources.
 			u.stage = stDone
 			u.doneAt = now
+			if c.traceFn != nil {
+				c.traceEmit(TraceComplete, u)
+			}
 		}
 		if u.isLoad() {
 			if c.pollSched {
@@ -186,6 +192,12 @@ func (c *CPU) dropPRE(u *uop, now uint64) {
 	c.stats.Dispatched++
 	c.dispatchedNow++
 	c.stats.DroppedPRE++
+	if c.traceFn != nil {
+		// A dropped uop occupies a ROB slot but never issues: it dispatches
+		// and completes (poisoned) in the same breath.
+		c.traceEmit(TraceDispatch, u)
+		c.traceEmit(TraceComplete, u)
+	}
 	if u.seq > c.ra.maxSeq {
 		c.ra.maxSeq = u.seq
 	}

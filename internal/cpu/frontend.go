@@ -43,6 +43,9 @@ func (c *CPU) fetchPhase(now uint64) {
 		redirected := c.predict(u)
 		c.frontQ.push(u)
 		c.stats.Fetched++
+		if c.traceFn != nil {
+			c.traceEmit(TraceFetch, u)
+		}
 		if in.Op.Kind() == isa.KindHalt {
 			// Nothing architectural follows a HALT; stop fetching until a
 			// squash or redirect proves this path wrong.

@@ -283,7 +283,7 @@ func (c *CPU) execLoad(u *uop, now uint64) bool {
 	fwd, blocked := c.scanSQ(u, size)
 	if blocked {
 		c.stats.LoadBlockedSQ++
-		u.replayWhy = replayMemOrd
+		u.replayWhy = ReplayMemOrd
 		return false
 	}
 	if fwd != nil {
@@ -342,7 +342,7 @@ func (c *CPU) execLoad(u *uop, now uint64) bool {
 	if c.mode == ModeNormal && c.slActive {
 		if done, ok := c.slLoadPath(u, line, now); ok {
 			if !done {
-				u.replayWhy = replaySLGate
+				u.replayWhy = ReplaySLGate
 				return false // gated: retry after the branch resolves
 			}
 			c.loadValue(u, size, now, c.hier.Config().L1D.Latency)

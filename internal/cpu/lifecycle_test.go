@@ -1,0 +1,111 @@
+package cpu
+
+import (
+	"encoding/json"
+	"testing"
+
+	"specrun/internal/proggen"
+)
+
+// TestTracerNeutrality is the lifecycle-tracer mirror of
+// TestObserverNeutrality: random programs on a traced and an untraced
+// machine must produce identical statistics and commit streams, while the
+// tracer itself must actually see events.  The tracer only reads values the
+// simulation computed anyway; any divergence means an emission site grew a
+// side effect.
+func TestTracerNeutrality(t *testing.T) {
+	opt := proggen.DefaultOptions()
+	opt.SecretBytes = 64
+	totalEvents := 0
+	for name, cfg := range observerConfigs() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 10; seed++ {
+				prog := proggen.Generate(seed, opt)
+
+				plain := New(cfg, prog)
+				var plainRecs []CommitRecord
+				plain.SetCommitHook(func(r CommitRecord) { plainRecs = append(plainRecs, r) })
+				if err := plain.Run(20_000_000); err != nil {
+					t.Fatalf("seed %d: untraced: %v", seed, err)
+				}
+
+				traced := New(cfg, prog)
+				var tracedRecs []CommitRecord
+				traced.SetCommitHook(func(r CommitRecord) { tracedRecs = append(tracedRecs, r) })
+				nEvents := 0
+				traced.SetTracer(func(TraceEvent) { nEvents++ })
+				if err := traced.Run(20_000_000); err != nil {
+					t.Fatalf("seed %d: traced: %v", seed, err)
+				}
+
+				ps, _ := json.Marshal(plain.Stats())
+				ts, _ := json.Marshal(traced.Stats())
+				if string(ps) != string(ts) {
+					t.Fatalf("seed %d: stats diverge under the tracer:\n  untraced: %s\n  traced:   %s", seed, ps, ts)
+				}
+				if len(plainRecs) != len(tracedRecs) {
+					t.Fatalf("seed %d: commit stream length %d vs %d", seed, len(plainRecs), len(tracedRecs))
+				}
+				for i := range plainRecs {
+					if plainRecs[i] != tracedRecs[i] {
+						t.Fatalf("seed %d: commit %d diverges: %+v vs %+v", seed, i, plainRecs[i], tracedRecs[i])
+					}
+				}
+				totalEvents += nEvents
+			}
+		})
+	}
+	if totalEvents == 0 {
+		t.Fatal("tracer recorded no events — the hook is dead")
+	}
+}
+
+// TestTracerSurvivesReset pins the hook contract shared with SetCommitHook
+// and SetObserver: an installed tracer stays across Reset.
+func TestTracerSurvivesReset(t *testing.T) {
+	opt := proggen.DefaultOptions()
+	opt.SecretBytes = 64
+	progA := proggen.Generate(3, opt)
+	progB := proggen.Generate(4, opt)
+	c := New(DefaultConfig(), progA)
+	n := 0
+	c.SetTracer(func(TraceEvent) { n++ })
+	if err := c.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	first := n
+	if first == 0 {
+		t.Fatal("no events before Reset")
+	}
+	c.Reset(progB)
+	if err := c.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if n == first {
+		t.Fatal("tracer lost across Reset")
+	}
+}
+
+// TestTraceStageStrings keeps the stage and replay-reason vocabularies
+// printable (the trace encoders render them into files users load).
+func TestTraceStageStrings(t *testing.T) {
+	stages := []TraceStage{TraceFetch, TraceDispatch, TraceIssue, TraceReplay,
+		TraceComplete, TraceCommit, TracePseudoRetire, TraceSquash}
+	seen := map[string]bool{}
+	for _, s := range stages {
+		str := s.String()
+		if str == "" || str == "?" || seen[str] {
+			t.Fatalf("stage %d renders %q", s, str)
+		}
+		seen[str] = true
+	}
+	reasons := []ReplayReason{ReplayNone, ReplayROBHead, ReplayMemOrd, ReplaySLGate}
+	seen = map[string]bool{}
+	for _, r := range reasons {
+		str := r.String()
+		if str == "" || str == "?" || seen[str] {
+			t.Fatalf("reason %d renders %q", r, str)
+		}
+		seen[str] = true
+	}
+}

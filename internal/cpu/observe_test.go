@@ -132,7 +132,7 @@ func TestObservationStrings(t *testing.T) {
 // divergence (trace.go): on the cycle of a mid-issue-phase squash — the
 // SkipINVBranch fetch barrier — the event-driven scheduler's eager counters
 // exclude the squashed uops one cycle before the polling reference's
-// lazily-compacted slices do.  Only the IQ/LQ/SQ fields of a TraceSample
+// lazily-compacted slices do.  Only the IQ/LQ/SQ fields of a Sample
 // may differ, Stats and the commit stream never, and the divergence must
 // actually occur on at least one seed (otherwise the documentation is
 // stale).
@@ -144,15 +144,15 @@ func TestSkipINVBarrierTraceOnlyDivergence(t *testing.T) {
 	divergentSamples := 0
 	for seed := int64(1); seed <= 40; seed++ {
 		prog := proggen.Generate(seed, opt)
-		run := func(poll bool) (*CPU, []CommitRecord, []TraceSample) {
+		run := func(poll bool) (*CPU, []CommitRecord, []Sample) {
 			c := New(cfg, prog)
 			if poll {
 				c.SetPollingReference(true)
 			}
 			var recs []CommitRecord
 			c.SetCommitHook(func(r CommitRecord) { recs = append(recs, r) })
-			var samples []TraceSample
-			c.SetTracer(1, func(s TraceSample) { samples = append(samples, s) })
+			var samples []Sample
+			c.SetSampler(1, func(s Sample) { samples = append(samples, s) })
 			if err := c.Run(20_000_000); err != nil {
 				t.Fatalf("seed %d (poll=%v): %v", seed, poll, err)
 			}

@@ -70,8 +70,11 @@ func (c *CPU) issuePhase(now uint64) {
 		op := u.inst.Op
 		if op.IsSerializing() && c.rob.front() != u {
 			// RDTSC/FENCE execute at the ROB head only.
-			u.replayWhy = replayROBHead
+			u.replayWhy = ReplayROBHead
 			c.replay = append(c.replay, u)
+			if c.traceFn != nil {
+				c.traceEmit(TraceReplay, u)
+			}
 			continue
 		}
 		fu := op.FU()
@@ -83,6 +86,9 @@ func (c *CPU) issuePhase(now uint64) {
 			// Memory-ordering or SL-cache gating (execute recorded which via
 			// replayWhy): retry next cycle.
 			c.replay = append(c.replay, u)
+			if c.traceFn != nil {
+				c.traceEmit(TraceReplay, u)
+			}
 			continue
 		}
 		c.consumeFU(fu, now, op)
@@ -101,6 +107,9 @@ func (c *CPU) issuePhase(now uint64) {
 		}
 		issued++
 		c.stats.Issued++
+		if c.traceFn != nil {
+			c.traceEmit(TraceIssue, u)
+		}
 	}
 	c.ready = out
 }
@@ -164,6 +173,9 @@ func (c *CPU) writebackPhase(now uint64) {
 			continue
 		}
 		u.stage = stDone
+		if c.traceFn != nil {
+			c.traceEmit(TraceComplete, u)
+		}
 		c.wakeWaiters(u, now)
 		if !u.addrValid && u.isStore() && u.seq == c.sqUnknown {
 			// An INV-address store completing stops blocking younger loads

@@ -68,7 +68,14 @@ func (c *CPU) issuePhasePoll(now uint64) {
 			continue
 		}
 		if !c.execute(u, now) {
-			continue // memory-ordering or SL-cache gating: retry next cycle
+			// Memory-ordering or SL-cache gating: retry next cycle.  (The
+			// polling scheduler has no replay queue; the reason execute
+			// recorded in replayWhy matches what the event-driven scheduler
+			// would have tagged its TraceReplay with.)
+			if c.traceFn != nil {
+				c.traceEmit(TraceReplay, u)
+			}
+			continue
 		}
 		c.consumeFU(fu, now, u.inst.Op)
 		u.stage = stIssued
@@ -77,6 +84,9 @@ func (c *CPU) issuePhasePoll(now uint64) {
 		idx--
 		issued++
 		c.stats.Issued++
+		if c.traceFn != nil {
+			c.traceEmit(TraceIssue, u)
+		}
 	}
 }
 
@@ -105,6 +115,9 @@ func (c *CPU) writebackPhasePoll(now uint64) {
 			continue
 		}
 		u.stage = stDone
+		if c.traceFn != nil {
+			c.traceEmit(TraceComplete, u)
+		}
 		if u.isCtl() && !u.unresolved && c.mispredicted(u) {
 			// Oldest-first processing guarantees entries already completed
 			// this cycle are older than u and survive the squash.

@@ -27,17 +27,28 @@ type CommitRecord struct {
 // synchronously inside the commit stage; keep it cheap.
 func (c *CPU) SetCommitHook(fn func(CommitRecord)) { c.commitFn = fn }
 
-// TraceSample is one snapshot of pipeline occupancy, emitted by the tracer
-// at a fixed cycle interval.  It is the raw material for utilisation plots
-// (ROB occupancy over time makes runahead episodes visible as sawtooths:
-// the window drains at entry via pseudo-retirement and refills after exit).
+// String renders the execution mode ("normal" / "runahead").
+func (m Mode) String() string {
+	if m == ModeRunahead {
+		return "runahead"
+	}
+	return "normal"
+}
+
+// ---- occupancy sampler (formerly "tracer"; the per-uop lifecycle tracer
+// below took over the SetTracer name) ----
+
+// Sample is one snapshot of pipeline occupancy, emitted by the sampler at a
+// fixed cycle interval.  It is the raw material for utilisation plots (ROB
+// occupancy over time makes runahead episodes visible as sawtooths: the
+// window drains at entry via pseudo-retirement and refills after exit).
 //
 // IQ/LQ/SQ report the active scheduler's own occupancy bookkeeping.  On the
 // cycle of a mid-issue-phase squash (the SkipINVBranch barrier) the
 // event-driven scheduler's eager teardown excludes the squashed uops one
 // cycle before the polling reference's lazily-compacted slices would —
-// a trace-only divergence; Stats and the commit stream are identical.
-type TraceSample struct {
+// a sample-only divergence; Stats and the commit stream are identical.
+type Sample struct {
 	Cycle         uint64
 	Mode          Mode
 	ROB           int
@@ -51,19 +62,19 @@ type TraceSample struct {
 	Episodes      uint64
 }
 
-// SetTracer installs fn to receive a TraceSample every `every` cycles
-// (every=0 removes the tracer).  The callback runs synchronously inside the
+// SetSampler installs fn to receive a Sample every `every` cycles (every=0
+// removes the sampler).  The callback runs synchronously inside the
 // simulation loop; keep it cheap.
-func (c *CPU) SetTracer(every uint64, fn func(TraceSample)) {
-	c.traceEvery = every
-	c.traceFn = fn
+func (c *CPU) SetSampler(every uint64, fn func(Sample)) {
+	c.sampleEvery = every
+	c.sampleFn = fn
 }
 
-func (c *CPU) traceTick() {
-	if c.traceFn == nil || c.traceEvery == 0 || c.cycle%c.traceEvery != 0 {
+func (c *CPU) sampleTick() {
+	if c.sampleFn == nil || c.sampleEvery == 0 || c.cycle%c.sampleEvery != 0 {
 		return
 	}
-	c.traceFn(TraceSample{
+	c.sampleFn(Sample{
 		Cycle:         c.cycle,
 		Mode:          c.mode,
 		ROB:           c.rob.len(),
@@ -78,17 +89,142 @@ func (c *CPU) traceTick() {
 	})
 }
 
-// CSVTracer returns a tracer callback that streams samples as CSV rows to w,
-// after writing a header line.
-func CSVTracer(w io.Writer) func(TraceSample) {
+// CSVSampler returns a sampler callback that streams samples as CSV rows to
+// w, after writing a header line.
+func CSVSampler(w io.Writer) func(Sample) {
 	fmt.Fprintln(w, "cycle,mode,rob,iq,lq,sq,frontq,int_prf,committed,pseudo_retired,episodes")
-	return func(s TraceSample) {
-		mode := "normal"
-		if s.Mode == ModeRunahead {
-			mode = "runahead"
-		}
+	return func(s Sample) {
 		fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
-			s.Cycle, mode, s.ROB, s.IQ, s.LQ, s.SQ, s.FrontQ, s.IntPRFUsed,
+			s.Cycle, s.Mode, s.ROB, s.IQ, s.LQ, s.SQ, s.FrontQ, s.IntPRFUsed,
 			s.Committed, s.PseudoRetired, s.Episodes)
 	}
+}
+
+// ---- per-uop lifecycle tracer ----
+
+// TraceStage identifies one pipeline lifecycle transition of a uop.
+type TraceStage uint8
+
+const (
+	// TraceFetch: the instruction entered the fetch buffer.  The decode/
+	// rename front end is modelled as a fixed delay (Config.FrontEndDepth)
+	// between this event and TraceDispatch, so there is no separate decode
+	// event; encoders derive the front-end residency from the two.
+	TraceFetch TraceStage = iota
+	// TraceDispatch: renamed and inserted into the ROB (and the issue and
+	// load/store queues as required).
+	TraceDispatch
+	// TraceIssue: selected and sent to a functional unit or memory port.
+	// Loads touch the cache hierarchy at this moment — before any squash
+	// can undo it — which is exactly the SPECRUN side channel.
+	TraceIssue
+	// TraceReplay: operand-ready but refused issue this cycle for the
+	// reason in TraceEvent.Reason; it competes again next cycle.
+	TraceReplay
+	// TraceComplete: the result became available (writeback).
+	TraceComplete
+	// TraceCommit: retired architecturally (normal mode).  These events
+	// align one-for-one, in order, with the SetCommitHook stream.
+	TraceCommit
+	// TracePseudoRetire: retired into the runahead scratch state; the
+	// result never reaches architectural state (runahead mode).
+	TracePseudoRetire
+	// TraceSquash: discarded.  WrongPath distinguishes misprediction
+	// recovery (the uop was on a wrong path) from the wholesale pipeline
+	// teardown at runahead-episode exit.
+	TraceSquash
+)
+
+func (s TraceStage) String() string {
+	switch s {
+	case TraceFetch:
+		return "fetch"
+	case TraceDispatch:
+		return "dispatch"
+	case TraceIssue:
+		return "issue"
+	case TraceReplay:
+		return "replay"
+	case TraceComplete:
+		return "complete"
+	case TraceCommit:
+		return "commit"
+	case TracePseudoRetire:
+		return "pseudo-retire"
+	case TraceSquash:
+		return "squash"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent is one per-uop stage transition.  Events are emitted in cycle
+// order (the phases of one cycle all carry the same Cycle value), and every
+// uop's lifetime starts with TraceFetch and ends with exactly one of
+// TraceCommit, TracePseudoRetire or TraceSquash.
+type TraceEvent struct {
+	Cycle     uint64
+	Stage     TraceStage
+	Seq       uint64       // dynamic instruction number (unique, never reused)
+	PC        uint64       // instruction address
+	Inst      isa.Inst     // the instruction itself (Inst.String disassembles)
+	Mode      Mode         // machine mode at the event
+	Episode   uint64       // runahead episode the event occurred in (0 = normal mode)
+	Reason    ReplayReason // TraceReplay only: why issue was refused (ReplaySLGate = SL-cache gate engaged)
+	WrongPath bool         // TraceSquash only: misprediction recovery, not runahead-exit teardown
+}
+
+// SetTracer installs fn to receive one TraceEvent per pipeline stage
+// transition, in cycle order (nil removes it).  Like the other observation
+// hooks (SetCommitHook, SetObserver, SetSampler) it is kept across Reset and
+// runs synchronously inside the simulation loop.  The tracer is inert: every
+// emission site is nil-checked and passes values the simulation computed
+// anyway, so a traced machine executes the exact same state transitions as
+// an untraced one (the tracer-neutrality tests pin this) and a machine whose
+// tracer was removed again allocates nothing (the alloc tests pin that).
+func (c *CPU) SetTracer(fn func(TraceEvent)) { c.traceFn = fn }
+
+// traceEmit emits one lifecycle event; callers nil-check c.traceFn first so
+// the disabled tracer costs a single branch per site.
+func (c *CPU) traceEmit(st TraceStage, u *uop) {
+	ev := TraceEvent{
+		Cycle:   c.cycle,
+		Stage:   st,
+		Seq:     u.seq,
+		PC:      u.pc,
+		Inst:    u.inst,
+		Mode:    c.mode,
+		Episode: c.traceEpisode(u),
+	}
+	if st == TraceReplay {
+		ev.Reason = u.replayWhy
+	}
+	c.traceFn(ev)
+}
+
+// traceSquash emits a squash event; wrongPath marks misprediction recovery
+// (as opposed to the runahead-exit teardown, where the discarded work was
+// the episode's pre-execution, not a wrong path).
+func (c *CPU) traceSquash(u *uop, wrongPath bool) {
+	c.traceFn(TraceEvent{
+		Cycle:     c.cycle,
+		Stage:     TraceSquash,
+		Seq:       u.seq,
+		PC:        u.pc,
+		Inst:      u.inst,
+		Mode:      c.mode,
+		Episode:   c.traceEpisode(u),
+		WrongPath: wrongPath,
+	})
+}
+
+// traceEpisode is the runahead episode id an event belongs to.  Uops fetched
+// before the episode began (u.raEpisode == 0) still execute, pseudo-retire
+// and squash inside it, so the live episode counter — not the fetch-time
+// stamp — is what annotates events fired in runahead mode.
+func (c *CPU) traceEpisode(u *uop) uint64 {
+	if c.mode == ModeRunahead {
+		return c.ra.episode
+	}
+	return u.raEpisode
 }

@@ -7,16 +7,16 @@ import (
 	"specrun/internal/asm"
 )
 
-func TestTracerSamplesPipeline(t *testing.T) {
+func TestSamplerSamplesPipeline(t *testing.T) {
 	prog := stallProgram(func(b *asm.Builder) { b.NopN(400) })
 	c := New(DefaultConfig(), prog)
-	var samples []TraceSample
-	c.SetTracer(10, func(s TraceSample) { samples = append(samples, s) })
+	var samples []Sample
+	c.SetSampler(10, func(s Sample) { samples = append(samples, s) })
 	if err := c.Run(testBudget); err != nil {
 		t.Fatal(err)
 	}
 	if len(samples) == 0 {
-		t.Fatal("tracer produced no samples")
+		t.Fatal("sampler produced no samples")
 	}
 	sawRunahead := false
 	var last uint64
@@ -37,11 +37,11 @@ func TestTracerSamplesPipeline(t *testing.T) {
 	}
 }
 
-func TestCSVTracer(t *testing.T) {
+func TestCSVSampler(t *testing.T) {
 	prog := stallProgram(func(b *asm.Builder) { b.NopN(300) })
 	c := New(DefaultConfig(), prog)
 	var sb strings.Builder
-	c.SetTracer(25, CSVTracer(&sb))
+	c.SetSampler(25, CSVSampler(&sb))
 	if err := c.Run(testBudget); err != nil {
 		t.Fatal(err)
 	}
@@ -63,16 +63,16 @@ func TestCSVTracer(t *testing.T) {
 	}
 }
 
-func TestTracerDisable(t *testing.T) {
+func TestSamplerDisable(t *testing.T) {
 	prog := stallProgram(func(b *asm.Builder) { b.NopN(100) })
 	c := New(DefaultConfig(), prog)
 	n := 0
-	c.SetTracer(1, func(TraceSample) { n++ })
-	c.SetTracer(0, nil)
+	c.SetSampler(1, func(Sample) { n++ })
+	c.SetSampler(0, nil)
 	if err := c.Run(testBudget); err != nil {
 		t.Fatal(err)
 	}
 	if n != 0 {
-		t.Fatal("disabled tracer still fired")
+		t.Fatal("disabled sampler still fired")
 	}
 }

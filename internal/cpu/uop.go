@@ -83,7 +83,7 @@ type uop struct {
 	pendIssue    int8
 	inIQ         bool
 	inReady      bool
-	replayWhy    uint8 // last replay condition (replay* below; tracing/debug)
+	replayWhy    ReplayReason // last replay condition (tracing/debug)
 
 	// Store-queue disambiguation index state: one intrusive chain node per
 	// cache line the store touches (a store crossing a line boundary links
@@ -93,18 +93,40 @@ type uop struct {
 	sqLinked bool
 }
 
-// Replay conditions: why an operand-ready uop failed to issue and went to
+// ReplayReason says why an operand-ready uop failed to issue and went to
 // the replay queue.  Every condition is re-evaluated the next cycle — the
 // events that clear them (a store address or datum arriving, a branch
 // resolving, the ROB head advancing) can occur on any cycle, and the blocked
 // counters (LoadBlockedSQ, SLWaits) are defined per attempt, so skipping
-// cycles would change observable statistics.
+// cycles would change observable statistics.  The type is exported because
+// TraceReplay lifecycle events carry it.
+type ReplayReason uint8
+
 const (
-	replayNone    uint8 = iota
-	replayROBHead       // serializing instruction waiting to reach the ROB head
-	replayMemOrd        // load blocked by an older store (unknown address / overlap)
-	replaySLGate        // load gated by an SL-cache entry awaiting branch resolution
+	// ReplayNone: not replayed.
+	ReplayNone ReplayReason = iota
+	// ReplayROBHead: serializing instruction waiting to reach the ROB head.
+	ReplayROBHead
+	// ReplayMemOrd: load blocked by an older store (unknown address / overlap).
+	ReplayMemOrd
+	// ReplaySLGate: load gated by an SL-cache entry awaiting branch resolution.
+	ReplaySLGate
 )
+
+func (r ReplayReason) String() string {
+	switch r {
+	case ReplayNone:
+		return "none"
+	case ReplayROBHead:
+		return "rob-head"
+	case ReplayMemOrd:
+		return "mem-order"
+	case ReplaySLGate:
+		return "sl-gate"
+	default:
+		return "?"
+	}
+}
 
 // waiter is one wakeup-list entry: when the producer completes, its result
 // is written into srcs[src] of u.  The consumer may have been squashed and

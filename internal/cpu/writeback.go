@@ -75,6 +75,9 @@ func (c *CPU) squashYounger(seq uint64) {
 		}
 		c.rob.popBack()
 		tail.squashed = true
+		if c.traceFn != nil {
+			c.traceSquash(tail, true)
+		}
 		c.releasePRF(tail)
 		if !c.pollSched {
 			if tail.inIQ {
@@ -102,6 +105,9 @@ func (c *CPU) squashYounger(seq uint64) {
 	for c.frontQ.len() > 0 {
 		u := c.frontQ.popFront()
 		u.squashed = true
+		if c.traceFn != nil {
+			c.traceSquash(u, true)
+		}
 		c.freeUOp(u)
 	}
 }
@@ -124,12 +130,18 @@ func (c *CPU) squashAll() {
 		u := c.rob.popBack()
 		u.squashed = true
 		c.stats.Squashed++
+		if c.traceFn != nil {
+			c.traceSquash(u, false)
+		}
 		c.freeUOp(u)
 	}
 	c.stats.Squashed += uint64(c.frontQ.len())
 	for c.frontQ.len() > 0 {
 		u := c.frontQ.popFront()
 		u.squashed = true
+		if c.traceFn != nil {
+			c.traceSquash(u, false)
+		}
 		c.freeUOp(u)
 	}
 	c.iq = c.iq[:0]

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint validates text in Prometheus exposition format 0.0.4: every sample
+// belongs to a family announced by a preceding # TYPE line, metric and
+// label names are well-formed, sample values parse, and histogram families
+// carry their _bucket/_sum/_count series with a +Inf bucket.  It returns
+// the first violation found.  The server tests and the /metrics smoke use
+// it so the endpoint can't drift into output real scrapers reject.
+func Lint(r io.Reader) error {
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$`)
+		labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+	)
+	types := map[string]string{}   // family -> type
+	sampled := map[string]bool{}   // family -> saw any sample
+	infBucket := map[string]bool{} // histogram family -> saw +Inf bucket
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line: %q", lineno, line)
+			}
+			name, typ := parts[2], parts[3]
+			if !nameRe.MatchString(name) {
+				return fmt.Errorf("line %d: bad metric name %q", lineno, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineno, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineno, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", lineno, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		fam := name
+		if suffix := histogramSuffix(name); suffix != "" {
+			base := strings.TrimSuffix(name, suffix)
+			if types[base] == "histogram" {
+				fam = base
+				if suffix == "_bucket" && strings.Contains(labels, `le="+Inf"`) {
+					infBucket[base] = true
+				}
+			}
+		}
+		typ, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineno, name)
+		}
+		if typ == "histogram" && fam == name {
+			return fmt.Errorf("line %d: bare sample %q for histogram family", lineno, name)
+		}
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				if !labelRe.MatchString(pair) {
+					return fmt.Errorf("line %d: malformed label %q", lineno, pair)
+				}
+			}
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: bad sample value %q", lineno, value)
+			}
+		}
+		sampled[fam] = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, typ := range types {
+		if typ == "histogram" && sampled[fam] && !infBucket[fam] {
+			return fmt.Errorf("histogram %q has no +Inf bucket", fam)
+		}
+	}
+	if len(sampled) == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+func histogramSuffix(name string) string {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			return s
+		}
+	}
+	return ""
+}
+
+// splitLabels splits `a="x",b="y,z"` on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++ // skip escaped char
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

@@ -1,0 +1,341 @@
+// Package metrics is a zero-dependency metrics registry with Prometheus
+// text exposition (version 0.0.4).  It implements the three instrument
+// kinds the service needs — monotonic counters, gauges, and fixed-bucket
+// histograms — plus labelled (vec) variants and scrape-time callback
+// instruments for values other subsystems already track.
+//
+// Instruments are safe for concurrent use: counters, gauges and histogram
+// buckets are atomics, so updates on the request path never take the
+// registry lock.  The registry lock only guards registration and the
+// label-set maps of vec instruments.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets is a latency-oriented default bucket layout (seconds).
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metric is one registered exposition family.
+type metric struct {
+	name, help, typ string
+	// collect appends exposition lines (without HELP/TYPE) for the family.
+	collect func(b *strings.Builder)
+}
+
+// Registry holds registered instruments and renders them.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[m.name]; dup {
+		panic("metrics: duplicate registration of " + m.name)
+	}
+	r.fams[m.name] = m
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: "counter", collect: func(b *strings.Builder) {
+		fmt.Fprintf(b, "%s %d\n", name, c.Value())
+	}})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time.  fn must be monotonic and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(&metric{name: name, help: help, typ: "counter", collect: func(b *strings.Builder) {
+		fmt.Fprintf(b, "%s %d\n", name, fn())
+	}})
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, typ: "gauge", collect: func(b *strings.Builder) {
+		fmt.Fprintf(b, "%s %d\n", name, g.Value())
+	}})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", collect: func(b *strings.Builder) {
+		fmt.Fprintf(b, "%s %s\n", name, formatFloat(fn()))
+	}})
+}
+
+// NewHistogram registers and returns a histogram with the given upper
+// bounds (a +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(&metric{name: name, help: help, typ: "histogram", collect: func(b *strings.Builder) {
+		writeHistogram(b, name, "", h)
+	}})
+	return h
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct {
+	mu     sync.Mutex
+	name   string
+	labels []string
+	kids   map[string]*Counter
+}
+
+// With returns (creating if needed) the counter for the given label values,
+// which must match the label names in number and order.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic("metrics: label cardinality mismatch for " + v.name)
+	}
+	key := labelPairs(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.kids[key]
+	if c == nil {
+		c = &Counter{}
+		v.kids[key] = c
+	}
+	return c
+}
+
+// NewCounterVec registers and returns a labelled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{name: name, labels: labels, kids: make(map[string]*Counter)}
+	r.register(&metric{name: name, help: help, typ: "counter", collect: func(b *strings.Builder) {
+		for _, key := range sortedKeys(v) {
+			fmt.Fprintf(b, "%s{%s} %d\n", name, key, v.kids[key].Value())
+		}
+	}})
+	return v
+}
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct {
+	mu      sync.Mutex
+	name    string
+	labels  []string
+	buckets []float64
+	kids    map[string]*Histogram
+}
+
+// With returns (creating if needed) the histogram for the given label
+// values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic("metrics: label cardinality mismatch for " + v.name)
+	}
+	key := labelPairs(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.kids[key]
+	if h == nil {
+		h = newHistogram(v.buckets)
+		v.kids[key] = h
+	}
+	return h
+}
+
+// NewHistogramVec registers and returns a labelled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{name: name, labels: labels, buckets: buckets, kids: make(map[string]*Histogram)}
+	r.register(&metric{name: name, help: help, typ: "histogram", collect: func(b *strings.Builder) {
+		v.mu.Lock()
+		keys := make([]string, 0, len(v.kids))
+		for k := range v.kids {
+			keys = append(keys, k)
+		}
+		v.mu.Unlock()
+		sort.Strings(keys)
+		for _, key := range keys {
+			writeHistogram(b, name, key, v.kids[key])
+		}
+	}})
+	return v
+}
+
+func sortedKeys(v *CounterVec) []string {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders every registered family in text exposition format
+// 0.0.4, sorted by family name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range fams {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		m.collect(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits the cumulative bucket, sum and count series for one
+// histogram; labels is a pre-rendered `k="v",...` string or "".
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(bound), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count())
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, h.Count())
+	}
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func labelPairs(names, values []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

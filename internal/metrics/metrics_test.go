@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("reqs_total", "requests")
+	g := r.NewGauge("inflight", "in flight")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total requests\n# TYPE reqs_total counter\nreqs_total 5\n",
+		"# TYPE inflight gauge\ninflight 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 56.05`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("http_requests_total", "requests", "route", "code")
+	cv.With("/v1/run", "200").Add(3)
+	cv.With("/v1/run", "400").Inc()
+	cv.With(`/weird"path`, "200").Inc()
+	hv := r.NewHistogramVec("dur_seconds", "duration", []float64{1}, "route")
+	hv.With("/v1/run").Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`http_requests_total{route="/v1/run",code="200"} 3`,
+		`http_requests_total{route="/v1/run",code="400"} 1`,
+		`http_requests_total{route="/weird\"path",code="200"} 1`,
+		`dur_seconds_bucket{route="/v1/run",le="1"} 1`,
+		`dur_seconds_count{route="/v1/run"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(41)
+	r.CounterFunc("sim_cycles_total", "cycles", func() uint64 { n++; return n })
+	r.GaugeFunc("goroutines", "count", func() float64 { return 12 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "sim_cycles_total 42\n") || !strings.Contains(out, "goroutines 12\n") {
+		t.Fatalf("func instruments not rendered:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "")
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	h := r.NewHistogram("h_seconds", "", DefBuckets)
+	cv := r.NewCounterVec("v_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+				cv.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || cv.With("a").Value() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d v=%d", c.Value(), h.Count(), cv.With("a").Value())
+	}
+	if got, want := h.Sum(), 80.0; got < want-0.001 || got > want+0.001 {
+		t.Fatalf("histogram sum = %v, want ~%v", got, want)
+	}
+}
+
+// The registry's own output must satisfy its own linter — the same check
+// the server tests and CI smoke run against /metrics.
+func TestOutputPassesLint(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "with \\ backslash\nand newline").Inc()
+	r.NewGauge("b", "").Set(-3)
+	r.NewHistogram("c_seconds", "h", DefBuckets).Observe(0.2)
+	cv := r.NewCounterVec("d_total", "v", "k")
+	cv.With(`x"y\z`).Inc()
+	cv.With("plain").Add(2)
+	r.NewHistogramVec("e_seconds", "hv", []float64{0.5, 5}, "route").With("/a").Observe(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("lint: %v\n%s", err, b.String())
+	}
+}
+
+func TestLintRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"no type":      "foo 1\n",
+		"bad value":    "# TYPE foo counter\nfoo xyz\n",
+		"bare histo":   "# TYPE h histogram\nh 3\n",
+		"no inf":       "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"empty":        "",
+		"bad label":    "# TYPE foo counter\nfoo{1bad=\"x\"} 1\n",
+		"dup type":     "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"mangled type": "# TYPE foo\nfoo 1\n",
+	}
+	for name, in := range cases {
+		if err := Lint(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: lint accepted %q", name, in)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"log/slog"
 	"strconv"
 	"sync"
 	"time"
@@ -70,10 +71,32 @@ type jobStore struct {
 	order     []string // submission order for listing
 	nextID    int
 	submitted int // lifetime submissions (survives eviction)
+
+	// logger receives job lifecycle transitions; onTerminal fires exactly
+	// once per job, at the moment it leaves JobRunning (the server feeds
+	// the specrun_jobs_total metric through it).  Both are set at server
+	// construction, before any job exists.
+	logger     *slog.Logger
+	onTerminal func(kind, status string)
 }
 
 func newJobStore() *jobStore {
-	return &jobStore{jobs: make(map[string]*job)}
+	return &jobStore{jobs: make(map[string]*job), logger: slog.New(slog.DiscardHandler)}
+}
+
+// terminal records a job's one transition out of JobRunning (caller holds
+// s.mu and has already updated j).
+func (s *jobStore) terminal(j *job) {
+	s.logger.Info("job finished",
+		"job", j.id,
+		"kind", j.kind,
+		"status", j.status,
+		"error", j.errText,
+		"duration_ms", float64(j.finished.Sub(j.submitted).Microseconds())/1000,
+	)
+	if s.onTerminal != nil {
+		s.onTerminal(j.kind, j.status)
+	}
 }
 
 // create registers a new running job and returns its id.
@@ -93,6 +116,7 @@ func (s *jobStore) create(kind string, cancel context.CancelFunc) string {
 	}
 	s.order = append(s.order, id)
 	s.prune()
+	s.logger.Info("job started", "job", id, "kind", kind)
 	return id
 }
 
@@ -133,6 +157,7 @@ func (s *jobStore) finish(id string, result []byte, errText string, cancelled bo
 	if !ok {
 		return
 	}
+	wasRunning := j.status == JobRunning
 	j.finished = time.Now()
 	switch {
 	case j.status == JobCancelled || cancelled:
@@ -140,12 +165,18 @@ func (s *jobStore) finish(id string, result []byte, errText string, cancelled bo
 	case errText != "":
 		j.status = JobFailed
 		j.errText = errText
+		if wasRunning {
+			s.terminal(j)
+		}
 		return
 	default:
 		j.status = JobDone
 		j.done = j.total
 	}
 	j.result = result
+	if wasRunning {
+		s.terminal(j)
+	}
 }
 
 // cancelJob cancels a running job.  It reports whether the id exists; a job
@@ -162,6 +193,7 @@ func (s *jobStore) cancelJob(id string) (JobView, bool) {
 		j.status = JobCancelled
 		j.finished = time.Now()
 		cancel = j.cancel
+		s.terminal(j)
 	}
 	v := j.view()
 	s.mu.Unlock()

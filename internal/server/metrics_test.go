@@ -1,0 +1,297 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"specrun/internal/metrics"
+)
+
+// TestMetricsEndpoint drives real traffic through the service and then
+// requires GET /metrics to return valid Prometheus exposition covering
+// every advertised family, with the request/cache counters reflecting that
+// traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// One miss, one hit on the same key; one 404; one async job to
+	// completion — so requests, cache, jobs and sim-cycle families all have
+	// real values to export.
+	if code, _, body := do(t, "POST", ts.URL+"/v1/run/fig9", "{}"); code != http.StatusOK {
+		t.Fatalf("run: %d %s", code, body)
+	}
+	if code, hdr, _ := do(t, "POST", ts.URL+"/v1/run/fig9", "{}"); code != http.StatusOK || hdr.Get("X-Cache") != "HIT" {
+		t.Fatalf("second run: %d, X-Cache=%q", code, hdr.Get("X-Cache"))
+	}
+	do(t, "POST", ts.URL+"/v1/run/nope", "{}")
+	code, _, body := do(t, "POST", ts.URL+"/v1/jobs", `{"driver": "fig9"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("job submit: %d %s", code, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ts.URL, view.ID)
+
+	code, hdr, body := do(t, "GET", ts.URL+"/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := metrics.Lint(bytes.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	out := string(body)
+	for _, family := range []string{
+		"specrun_http_requests_total",
+		"specrun_http_request_duration_seconds",
+		"specrun_http_requests_served_total",
+		"specrun_jobs_total",
+		"specrun_jobs_running",
+		"specrun_cache_hits_total",
+		"specrun_cache_misses_total",
+		"specrun_cache_evictions_total",
+		"specrun_cache_singleflight_merges_total",
+		"specrun_gate_capacity",
+		"specrun_gate_in_flight",
+		"specrun_gate_queued",
+		"specrun_gate_wait_seconds",
+		"specrun_machine_pool_hits_total",
+		"specrun_machine_pool_misses_total",
+		"specrun_machine_pool_evictions_total",
+		"specrun_simulations_total",
+		"specrun_sim_cycles_total",
+		"specrun_uptime_seconds",
+		"go_goroutines",
+	} {
+		if !strings.Contains(out, "# TYPE "+family+" ") {
+			t.Errorf("missing family %s", family)
+		}
+	}
+	for _, sample := range []string{
+		`specrun_http_requests_total{route="POST /v1/run/{driver}",method="POST",code="200"} 2`,
+		`specrun_http_requests_total{route="POST /v1/run/{driver}",method="POST",code="404"} 1`,
+		`specrun_jobs_total{kind="fig9",status="done"} 1`,
+	} {
+		if !strings.Contains(out, sample) {
+			t.Errorf("missing sample %q in:\n%s", sample, out)
+		}
+	}
+	// Real traffic ran simulations: the derived counters must be nonzero.
+	for _, prefix := range []string{"specrun_cache_hits_total ", "specrun_cache_misses_total ", "specrun_sim_cycles_total "} {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, prefix) && strings.HasSuffix(line, " 0") {
+				t.Errorf("%s is zero after traffic", strings.TrimSpace(prefix))
+			}
+		}
+	}
+}
+
+// waitJob polls until the job leaves JobRunning.
+func waitJob(t *testing.T, base, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, _, body := do(t, "GET", base+"/v1/jobs/"+id, "")
+		var v JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != JobRunning {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatsRuntimeSection pins the runtime block of GET /v1/stats.
+func TestStatsRuntimeSection(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _, body := do(t, "POST", ts.URL+"/v1/run/fig9", "{}"); code != http.StatusOK {
+		t.Fatalf("run: %d %s", code, body)
+	}
+	code, _, body := do(t, "GET", ts.URL+"/v1/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	rt := resp.Runtime
+	if rt.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v", rt.UptimeSeconds)
+	}
+	if rt.Goroutines <= 0 {
+		t.Errorf("goroutines = %d", rt.Goroutines)
+	}
+	if rt.HeapInuseBytes == 0 {
+		t.Error("heap_inuse_bytes = 0")
+	}
+	if rt.GateInFlight != 0 || rt.GateQueued != 0 {
+		t.Errorf("idle gate reports in_flight=%d queued=%d", rt.GateInFlight, rt.GateQueued)
+	}
+	if resp.SimCycles == 0 {
+		t.Error("sim_cycles = 0 after a simulation")
+	}
+	// The wire names are part of the API: decode raw to pin them.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	var rtRaw map[string]json.RawMessage
+	if err := json.Unmarshal(raw["runtime"], &rtRaw); err != nil {
+		t.Fatalf("no runtime section: %v", err)
+	}
+	for _, k := range []string{"uptime_seconds", "goroutines", "heap_inuse_bytes",
+		"gc_count", "gc_pause_total_seconds", "gate_in_flight", "gate_queued"} {
+		if _, ok := rtRaw[k]; !ok {
+			t.Errorf("runtime section missing %q", k)
+		}
+	}
+}
+
+// collectHandler buffers slog records for assertion.
+type logSink struct {
+	mu    sync.Mutex
+	lines []map[string]any
+}
+
+func (l *logSink) add(rec map[string]any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, rec)
+}
+
+func (l *logSink) find(msg string, match func(map[string]any) bool) map[string]any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, rec := range l.lines {
+		if rec["msg"] == msg && match(rec) {
+			return rec
+		}
+	}
+	return nil
+}
+
+// TestRequestAndJobLogging runs the service with a JSON slog sink and
+// checks the request and job lifecycle records: method, path, route,
+// status, duration, cache disposition and job ids.
+func TestRequestAndJobLogging(t *testing.T) {
+	var sink logSink
+	pump := &jsonDecodePump{sink: &sink}
+
+	s := New(Options{Logger: slog.New(slog.NewJSONHandler(pump, nil))})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	if code, _, body := do(t, "POST", ts.URL+"/v1/run/fig9", "{}"); code != http.StatusOK {
+		t.Fatalf("run: %d %s", code, body)
+	}
+	code, _, body := do(t, "POST", ts.URL+"/v1/jobs", `{"driver": "fig9"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("job: %d %s", code, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ts.URL, view.ID)
+
+	waitFor(t, "request log", func() bool {
+		return sink.find("request", func(r map[string]any) bool {
+			return r["route"] == "POST /v1/run/{driver}" &&
+				r["path"] == "/v1/run/fig9" &&
+				r["method"] == "POST" &&
+				r["status"] == float64(200) &&
+				r["cache"] != nil && r["duration_ms"] != nil
+		}) != nil
+	})
+	waitFor(t, "job-get log with job id", func() bool {
+		return sink.find("request", func(r map[string]any) bool {
+			return r["route"] == "GET /v1/jobs/{id}" && r["job"] == view.ID
+		}) != nil
+	})
+	waitFor(t, "job started log", func() bool {
+		return sink.find("job started", func(r map[string]any) bool {
+			return r["job"] == view.ID && r["kind"] == "fig9"
+		}) != nil
+	})
+	waitFor(t, "job finished log", func() bool {
+		return sink.find("job finished", func(r map[string]any) bool {
+			return r["job"] == view.ID && r["status"] == JobDone && r["duration_ms"] != nil
+		}) != nil
+	})
+}
+
+// jsonDecodePump is an io.Writer decoding each complete JSON line into the
+// sink (slog handlers write one line per record in a single Write call).
+type jsonDecodePump struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	sink *logSink
+}
+
+func (p *jsonDecodePump) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf.Write(b)
+	for {
+		line, err := p.buf.ReadBytes('\n')
+		if err != nil {
+			p.buf.Write(line) // incomplete line: keep for next write
+			break
+		}
+		var rec map[string]any
+		if json.Unmarshal(line, &rec) == nil {
+			p.sink.add(rec)
+		}
+	}
+	return len(b), nil
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPprofGated pins that the profiler is mounted only on request.
+func TestPprofGated(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _, _ := do(t, "GET", ts.URL+"/debug/pprof/", ""); code != http.StatusNotFound {
+		t.Fatalf("pprof served without EnablePprof: %d", code)
+	}
+
+	s := New(Options{EnablePprof: true})
+	pts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		pts.Close()
+		s.Close()
+	})
+	code, _, body := do(t, "GET", pts.URL+"/debug/pprof/cmdline", "")
+	if code != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d %s", code, body)
+	}
+}

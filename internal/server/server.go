@@ -21,11 +21,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"specrun/internal/core"
+	"specrun/internal/cpu"
 	"specrun/internal/difftest"
 	"specrun/internal/rescache"
 	"specrun/internal/sweep"
@@ -39,15 +43,23 @@ type Options struct {
 	Workers int
 	// CacheEntries bounds the result cache (0 = 512 entries).
 	CacheEntries int
+	// Logger receives structured request and job-lifecycle logs
+	// (nil = discard).
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.  Off by
+	// default: the profiler exposes stack traces and should be opted into.
+	EnablePprof bool
 }
 
 // Server is the simulation service.  Create with New, mount Handler on an
 // http.Server, and Close on shutdown to cancel outstanding jobs.
 type Server struct {
-	opts  Options
-	gate  *sweep.Gate
-	cache *rescache.Cache
-	jobs  *jobStore
+	opts    Options
+	gate    *sweep.Gate
+	cache   *rescache.Cache
+	jobs    *jobStore
+	logger  *slog.Logger
+	metrics *serverMetrics
 
 	baseCtx context.Context // parent of every computation; Close cancels it
 	stop    context.CancelFunc
@@ -60,35 +72,57 @@ type Server struct {
 // New builds a Server.
 func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &Server{
 		opts:    opts,
 		gate:    sweep.NewGate(opts.Workers),
 		cache:   rescache.New(opts.CacheEntries),
 		jobs:    newJobStore(),
+		logger:  logger,
 		baseCtx: ctx,
 		stop:    cancel,
 		start:   time.Now(),
 	}
+	s.metrics = newServerMetrics(s)
+	s.jobs.logger = logger
+	s.jobs.onTerminal = func(kind, status string) {
+		s.metrics.jobsTotal.With(kind, status).Inc()
+	}
+	return s
 }
 
 // Close cancels the server's base context: running jobs and in-flight
 // computations observe cancellation and wind down.
 func (s *Server) Close() { s.stop() }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler.  Every route is mounted through
+// s.handle, which layers per-route metrics and request logging (Go's
+// ServeMux hides the matched pattern from outer middleware, so
+// instrumentation attaches at registration).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/config", s.handleConfig)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/run/{driver}", s.handleRun)
-	mux.HandleFunc("POST /v1/run/fuzz", s.handleFuzz) // literal pattern wins over {driver}
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.handle(mux, "GET /healthz", s.handleHealthz)
+	s.handle(mux, "GET /metrics", s.handleMetrics)
+	s.handle(mux, "GET /v1/config", s.handleConfig)
+	s.handle(mux, "GET /v1/stats", s.handleStats)
+	s.handle(mux, "POST /v1/run/{driver}", s.handleRun)
+	s.handle(mux, "POST /v1/run/fuzz", s.handleFuzz) // literal pattern wins over {driver}
+	s.handle(mux, "POST /v1/sweep", s.handleSweep)
+	s.handle(mux, "POST /v1/jobs", s.handleJobSubmit)
+	s.handle(mux, "GET /v1/jobs", s.handleJobList)
+	s.handle(mux, "GET /v1/jobs/{id}", s.handleJobGet)
+	s.handle(mux, "GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.handle(mux, "DELETE /v1/jobs/{id}", s.handleJobCancel)
+	if s.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -426,8 +460,24 @@ type MachinePoolStats struct {
 	Configs          int    `json:"configs"`               // configurations with a live core pool
 	Capacity         int    `json:"capacity"`              // core pool LRU bound
 	Evictions        uint64 `json:"evictions"`             // core config pools dropped
+	Hits             uint64 `json:"hits"`                  // jobs that recycled a warm machine
+	Misses           uint64 `json:"misses"`                // jobs that built a machine from scratch
 	RunnerEvictions  uint64 `json:"runner_evictions"`      // difftest worker-cache machines dropped
 	RunnerCapPerSlot int    `json:"runner_cap_per_worker"` // difftest per-worker machine bound
+}
+
+// RuntimeStats is the process- and scheduler-health section of
+// GET /v1/stats: Go runtime vitals plus the simulation gate's live
+// occupancy, so an operator can tell an idle server from a saturated one
+// without a metrics stack.
+type RuntimeStats struct {
+	UptimeSeconds       float64 `json:"uptime_seconds"`
+	Goroutines          int     `json:"goroutines"`
+	HeapInuseBytes      uint64  `json:"heap_inuse_bytes"`
+	GCCount             uint32  `json:"gc_count"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	GateInFlight        int     `json:"gate_in_flight"` // worker tokens held
+	GateQueued          int     `json:"gate_queued"`    // simulations waiting for a token
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -436,19 +486,24 @@ type StatsResponse struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Requests      uint64           `json:"requests"`
 	Simulations   uint64           `json:"simulations"` // driver/sweep executions actually run
+	SimCycles     uint64           `json:"sim_cycles"`  // processor cycles simulated, process-wide
 	Workers       int              `json:"workers"`     // server-wide simulation budget
 	Cache         rescache.Stats   `json:"cache"`
 	Jobs          JobStats         `json:"jobs"`
 	MachinePools  MachinePoolStats `json:"machine_pools"`
+	Runtime       RuntimeStats     `json:"runtime"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	pools := core.MachinePoolStats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Version:       Version(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		Simulations:   s.simulations.Load(),
+		SimCycles:     cpu.SimCyclesTotal(),
 		Workers:       s.gate.Cap(),
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.stats(),
@@ -456,8 +511,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Configs:          pools.Configs,
 			Capacity:         pools.Capacity,
 			Evictions:        pools.Evictions,
+			Hits:             pools.Hits,
+			Misses:           pools.Misses,
 			RunnerEvictions:  difftest.RunnerEvictions(),
 			RunnerCapPerSlot: difftest.RunnerCacheCap,
+		},
+		Runtime: RuntimeStats{
+			UptimeSeconds:       time.Since(s.start).Seconds(),
+			Goroutines:          runtime.NumGoroutine(),
+			HeapInuseBytes:      ms.HeapInuse,
+			GCCount:             ms.NumGC,
+			GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+			GateInFlight:        s.gate.InFlight(),
+			GateQueued:          s.gate.Queued(),
 		},
 	})
 }

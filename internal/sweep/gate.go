@@ -3,6 +3,8 @@ package sweep
 import (
 	"context"
 	"runtime"
+	"sync/atomic"
+	"time"
 )
 
 // Gate is a concurrency budget shared across independent [Run] calls: each
@@ -12,6 +14,8 @@ import (
 // subsystem installs one process-wide gate; a nil *Gate imposes no limit.
 type Gate struct {
 	tokens chan struct{}
+	queued atomic.Int64
+	waitFn atomic.Pointer[func(time.Duration)]
 }
 
 // NewGate builds a gate admitting n concurrent jobs (n <= 0 = GOMAXPROCS).
@@ -25,8 +29,43 @@ func NewGate(n int) *Gate {
 // Cap reports the gate's capacity.
 func (g *Gate) Cap() int { return cap(g.tokens) }
 
+// InFlight reports how many tokens are currently held.
+func (g *Gate) InFlight() int { return len(g.tokens) }
+
+// Queued reports how many Acquire calls are currently blocked waiting.
+func (g *Gate) Queued() int { return int(g.queued.Load()) }
+
+// OnWait installs fn to observe how long each Acquire that could not get a
+// token immediately ended up waiting (nil removes it).  The uncontended
+// fast path never calls fn and never reads the clock, so an instrumented
+// idle gate costs one atomic load per Acquire.
+func (g *Gate) OnWait(fn func(waited time.Duration)) {
+	if fn == nil {
+		g.waitFn.Store(nil)
+		return
+	}
+	g.waitFn.Store(&fn)
+}
+
 // Acquire blocks until a token is available or ctx is done.
 func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.tokens <- struct{}{}:
+		return nil // fast path: no queueing, no clock read
+	default:
+	}
+	g.queued.Add(1)
+	var start time.Time
+	fn := g.waitFn.Load()
+	if fn != nil {
+		start = time.Now()
+	}
+	defer func() {
+		g.queued.Add(-1)
+		if fn != nil {
+			(*fn)(time.Since(start))
+		}
+	}()
 	select {
 	case g.tokens <- struct{}{}:
 		return nil

@@ -123,3 +123,80 @@ func TestErrorsHelper(t *testing.T) {
 		t.Fatalf("Errors(single) = %v", got)
 	}
 }
+
+// TestGateOccupancy pins the instrumentation the /metrics endpoint exports:
+// InFlight tracks held tokens, Queued tracks blocked acquirers, and the
+// wait observer fires only for acquires that actually queued.
+func TestGateOccupancy(t *testing.T) {
+	g := NewGate(1)
+	var waits atomic.Int64
+	g.OnWait(func(d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative wait %v", d)
+		}
+		waits.Add(1)
+	})
+	ctx := context.Background()
+
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Fatalf("idle gate: inflight=%d queued=%d", g.InFlight(), g.Queued())
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.InFlight() != 1 {
+		t.Fatalf("inflight = %d after acquire", g.InFlight())
+	}
+	if waits.Load() != 0 {
+		t.Fatal("uncontended acquire invoked the wait observer")
+	}
+
+	// A second acquirer must queue until the token is released.
+	entered := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(entered)
+		done <- g.Acquire(ctx)
+	}()
+	<-entered
+	for i := 0; g.Queued() != 1; i++ {
+		if i > 1000 {
+			t.Fatal("second acquirer never counted as queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if g.Queued() != 0 || g.InFlight() != 1 {
+		t.Fatalf("after handoff: inflight=%d queued=%d", g.InFlight(), g.Queued())
+	}
+	if waits.Load() != 1 {
+		t.Fatalf("wait observer fired %d times, want 1", waits.Load())
+	}
+	g.Release()
+
+	// A cancelled queued acquire still reports its wait and leaves the
+	// queue count clean.
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	go func() {
+		for g.Queued() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	if err := g.Acquire(cctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: %v", err)
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("queued = %d after cancellation", g.Queued())
+	}
+	if waits.Load() != 2 {
+		t.Fatalf("wait observer fired %d times, want 2", waits.Load())
+	}
+	g.Release()
+}

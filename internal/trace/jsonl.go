@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"specrun/internal/cpu"
+)
+
+// JSONL writes one JSON object per lifecycle event — the machine-readable
+// form for ad hoc analysis (jq, pandas).  Field order is fixed by the
+// struct, so output is deterministic and diffable.
+type JSONL struct {
+	w   *bufio.Writer
+	err error
+}
+
+// jsonEvent fixes the wire field order.  Episode, reason and wrong_path
+// only appear on the events they describe.
+type jsonEvent struct {
+	Cycle     uint64 `json:"cycle"`
+	Stage     string `json:"stage"`
+	Seq       uint64 `json:"seq"`
+	PC        string `json:"pc"`
+	Inst      string `json:"inst"`
+	Mode      string `json:"mode"`
+	Episode   uint64 `json:"episode,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+	WrongPath bool   `json:"wrong_path,omitempty"`
+}
+
+// NewJSONL returns a JSONL encoder writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Event encodes one lifecycle event.  Install as the cpu.SetTracer callback.
+func (j *JSONL) Event(ev cpu.TraceEvent) {
+	if j.err != nil {
+		return
+	}
+	je := jsonEvent{
+		Cycle:     ev.Cycle,
+		Stage:     ev.Stage.String(),
+		Seq:       ev.Seq,
+		PC:        fmt.Sprintf("0x%x", ev.PC),
+		Inst:      ev.Inst.String(),
+		Mode:      ev.Mode.String(),
+		Episode:   ev.Episode,
+		WrongPath: ev.WrongPath,
+	}
+	if ev.Stage == cpu.TraceReplay {
+		je.Reason = ev.Reason.String()
+	}
+	b, err := json.Marshal(je)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// Close flushes buffered output and reports the first write error.
+func (j *JSONL) Close() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}

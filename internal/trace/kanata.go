@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"specrun/internal/cpu"
+)
+
+// Kanata streams the Kanata 0004 log format consumed by the Konata pipeline
+// viewer.  Each uop becomes one instruction row (uid = seq); stage starts are
+// emitted as the simulator reaches them, so the file is written strictly in
+// cycle order and can be tailed while a long run is still in progress.
+//
+// Lane-0 stage mnemonics: F fetch, Ds dispatch (decode/rename/dispatch are a
+// single cycle in this model), Is issue, Rp replay (re-queued by the
+// scheduler; the mouseover label carries the reason), Wb writeback/complete.
+// Retire records distinguish architectural retirement, runahead
+// pseudo-retirement (labelled, retired-type) and squash (flush-type).
+type Kanata struct {
+	w       *bufio.Writer
+	err     error
+	started bool
+	cycle   uint64 // last cycle written
+	retires uint64 // retire-id counter for R records
+}
+
+// NewKanata returns a streaming Kanata encoder writing to w.
+func NewKanata(w io.Writer) *Kanata {
+	return &Kanata{w: bufio.NewWriter(w)}
+}
+
+func (k *Kanata) printf(format string, args ...any) {
+	if k.err != nil {
+		return
+	}
+	_, k.err = fmt.Fprintf(k.w, format, args...)
+}
+
+// advance emits the header on first use and C records to move the viewer's
+// clock to cycle.
+func (k *Kanata) advance(cycle uint64) {
+	if !k.started {
+		k.started = true
+		k.printf("Kanata\t0004\n")
+		k.printf("C=\t%d\n", cycle)
+		k.cycle = cycle
+		return
+	}
+	if cycle > k.cycle {
+		k.printf("C\t%d\n", cycle-k.cycle)
+		k.cycle = cycle
+	}
+}
+
+// Event encodes one lifecycle event.  Install as the cpu.SetTracer callback.
+func (k *Kanata) Event(ev cpu.TraceEvent) {
+	k.advance(ev.Cycle)
+	uid := ev.Seq
+	switch ev.Stage {
+	case cpu.TraceFetch:
+		k.printf("I\t%d\t%d\t0\n", uid, uid)
+		k.printf("L\t%d\t0\t%d: 0x%x %s\n", uid, ev.Seq, ev.PC, ev.Inst)
+		if ev.Mode == cpu.ModeRunahead {
+			k.printf("L\t%d\t1\trunahead episode %d\n", uid, ev.Episode)
+		}
+		k.printf("S\t%d\t0\tF\n", uid)
+	case cpu.TraceDispatch:
+		k.printf("S\t%d\t0\tDs\n", uid)
+	case cpu.TraceIssue:
+		k.printf("S\t%d\t0\tIs\n", uid)
+	case cpu.TraceReplay:
+		k.printf("S\t%d\t0\tRp\n", uid)
+		k.printf("L\t%d\t1\treplay: %s\n", uid, ev.Reason)
+	case cpu.TraceComplete:
+		k.printf("S\t%d\t0\tWb\n", uid)
+	case cpu.TraceCommit:
+		k.retires++
+		k.printf("R\t%d\t%d\t0\n", uid, k.retires)
+	case cpu.TracePseudoRetire:
+		k.retires++
+		k.printf("L\t%d\t1\tpseudo-retire (runahead episode %d)\n", uid, ev.Episode)
+		k.printf("R\t%d\t%d\t0\n", uid, k.retires)
+	case cpu.TraceSquash:
+		if ev.WrongPath {
+			k.printf("L\t%d\t1\tsquash: wrong path\n", uid)
+		} else {
+			k.printf("L\t%d\t1\tsquash: runahead exit (episode %d)\n", uid, ev.Episode)
+		}
+		k.printf("R\t%d\t0\t1\n", uid)
+	}
+}
+
+// Close flushes buffered output and reports the first write error.
+func (k *Kanata) Close() error {
+	if k.err != nil {
+		return k.err
+	}
+	return k.w.Flush()
+}

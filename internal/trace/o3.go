@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"slices"
+
+	"specrun/internal/cpu"
+)
+
+// O3 renders the gem5 O3PipeView text format (the input to gem5's
+// util/o3-pipeview.py and to Konata's gem5 importer).  O3PipeView is a
+// per-instruction format — all of an instruction's stage timestamps print
+// together — so records buffer per seq and flush when the uop reaches a
+// terminal event (commit, pseudo-retire or squash), which matches gem5's
+// own retirement-ordered output.  Close drains uops still in flight at the
+// end of the run, oldest first.
+//
+// Ticks are cycle*1000 (gem5's convention of 1000 ticks per cycle); an
+// unreached stage prints tick 0, and squashed instructions print retire
+// tick 0.  This model decodes, renames and dispatches in one cycle, so
+// those three lines share the dispatch tick.
+type O3 struct {
+	w     *bufio.Writer
+	err   error
+	recs  map[uint64]*o3rec
+	order []uint64 // seqs in fetch order, for Close's leftover drain
+}
+
+type o3rec struct {
+	pc       uint64
+	disasm   string
+	fetch    uint64 // cycle+1 internally so 0 means "not reached"
+	dispatch uint64
+	issue    uint64
+	complete uint64
+}
+
+// NewO3 returns an O3PipeView encoder writing to w.
+func NewO3(w io.Writer) *O3 {
+	return &O3{w: bufio.NewWriter(w), recs: make(map[uint64]*o3rec)}
+}
+
+func (o *O3) printf(format string, args ...any) {
+	if o.err != nil {
+		return
+	}
+	_, o.err = fmt.Fprintf(o.w, format, args...)
+}
+
+// tick converts the cycle+1 encoding to an O3PipeView tick (0 = unreached).
+func tick(c uint64) uint64 {
+	if c == 0 {
+		return 0
+	}
+	return (c - 1) * 1000
+}
+
+// Event encodes one lifecycle event.  Install as the cpu.SetTracer callback.
+func (o *O3) Event(ev cpu.TraceEvent) {
+	r := o.recs[ev.Seq]
+	if r == nil {
+		if ev.Stage != cpu.TraceFetch {
+			return // uop fetched before tracing started; no record to build on
+		}
+		r = &o3rec{pc: ev.PC, disasm: ev.Inst.String(), fetch: ev.Cycle + 1}
+		o.recs[ev.Seq] = r
+		o.order = append(o.order, ev.Seq)
+		return
+	}
+	switch ev.Stage {
+	case cpu.TraceDispatch:
+		r.dispatch = ev.Cycle + 1
+	case cpu.TraceIssue:
+		r.issue = ev.Cycle + 1
+	case cpu.TraceComplete:
+		r.complete = ev.Cycle + 1
+	case cpu.TraceCommit, cpu.TracePseudoRetire:
+		o.emit(ev.Seq, r, ev.Cycle+1)
+	case cpu.TraceSquash:
+		o.emit(ev.Seq, r, 0)
+	}
+}
+
+// emit prints one instruction's full record and forgets it.  retire is in
+// the cycle+1 encoding; 0 means squashed.
+func (o *O3) emit(seq uint64, r *o3rec, retire uint64) {
+	o.printf("O3PipeView:fetch:%d:0x%08x:0:%d:%s\n", tick(r.fetch), r.pc, seq, r.disasm)
+	o.printf("O3PipeView:decode:%d\n", tick(r.dispatch))
+	o.printf("O3PipeView:rename:%d\n", tick(r.dispatch))
+	o.printf("O3PipeView:dispatch:%d\n", tick(r.dispatch))
+	o.printf("O3PipeView:issue:%d\n", tick(r.issue))
+	o.printf("O3PipeView:complete:%d\n", tick(r.complete))
+	o.printf("O3PipeView:retire:%d:store:0\n", tick(retire))
+	delete(o.recs, seq)
+}
+
+// Close drains instructions still in flight (fetched but never retired or
+// squashed before the run ended) in fetch order, then flushes.
+func (o *O3) Close() error {
+	slices.Sort(o.order)
+	for _, seq := range o.order {
+		if r := o.recs[seq]; r != nil {
+			o.emit(seq, r, 0)
+		}
+	}
+	o.order = nil
+	if o.err != nil {
+		return o.err
+	}
+	return o.w.Flush()
+}

@@ -1,0 +1,78 @@
+// Package trace renders the CPU model's per-uop lifecycle event stream
+// (cpu.SetTracer) into viewer formats: the Kanata log the Konata pipeline
+// viewer consumes, the gem5 O3PipeView text format, and a JSONL form for ad
+// hoc tooling.  Encoders are streaming — install Encoder.Event as the
+// machine's tracer, run, then Close — and deterministic: the same simulation
+// produces byte-identical output, which the golden tests pin.
+package trace
+
+import (
+	"io"
+
+	"specrun/internal/cpu"
+)
+
+// Encoder consumes lifecycle events and writes one rendering.  Event is the
+// cpu.SetTracer callback; Close flushes buffered output (and, for formats
+// that render per instruction, drains uops still in flight at the end of the
+// run) and reports the first write error.
+type Encoder interface {
+	Event(cpu.TraceEvent)
+	Close() error
+}
+
+// NewEncoder builds the encoder for a format name ("kanata", "o3" or
+// "jsonl"); ok is false for an unknown name.
+func NewEncoder(format string, w io.Writer) (enc Encoder, ok bool) {
+	switch format {
+	case "kanata":
+		return NewKanata(w), true
+	case "o3":
+		return NewO3(w), true
+	case "jsonl":
+		return NewJSONL(w), true
+	}
+	return nil, false
+}
+
+// window filters an event stream down to the uops fetched inside a cycle
+// interval.  Filtering on the *fetch* cycle keeps lifecycles whole: a uop
+// fetched in the window is followed to its retirement or squash even past
+// the window's end, and a uop fetched before the window never appears at all
+// (encoders would otherwise see stage events for instructions they were
+// never introduced to).
+type window struct {
+	inner      Encoder
+	start, end uint64 // fetch-cycle interval [start, end); end 0 = unbounded
+	admitted   map[uint64]struct{}
+}
+
+// Window wraps enc so only uops fetched in cycles [start, end) are encoded
+// (end 0 = no upper bound).  A zero window (0, 0) passes everything through.
+func Window(enc Encoder, start, end uint64) Encoder {
+	if start == 0 && end == 0 {
+		return enc
+	}
+	return &window{inner: enc, start: start, end: end, admitted: make(map[uint64]struct{})}
+}
+
+func (f *window) Event(ev cpu.TraceEvent) {
+	if ev.Stage == cpu.TraceFetch {
+		if ev.Cycle < f.start || (f.end != 0 && ev.Cycle >= f.end) {
+			return
+		}
+		f.admitted[ev.Seq] = struct{}{}
+		f.inner.Event(ev)
+		return
+	}
+	if _, ok := f.admitted[ev.Seq]; !ok {
+		return
+	}
+	f.inner.Event(ev)
+	switch ev.Stage {
+	case cpu.TraceCommit, cpu.TracePseudoRetire, cpu.TraceSquash:
+		delete(f.admitted, ev.Seq) // lifecycle over; seqs are never reused
+	}
+}
+
+func (f *window) Close() error { return f.inner.Close() }

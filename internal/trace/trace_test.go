@@ -1,0 +1,426 @@
+package trace_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specrun/internal/asm"
+	"specrun/internal/cpu"
+	"specrun/internal/runahead"
+	"specrun/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+const testBudget = 2_000_000
+
+// goldenKernel is a small deterministic program exercising every lifecycle
+// stage the base goldens pin: ALU chains, a loop (branches, a mispredict on
+// exit → wrong-path squashes), store-to-load forwarding, and serialized
+// instructions (fence → ROB-head replays).
+const goldenKernel = `
+	.data 0x100000
+	buf: .zero 64
+	start:
+	movi r1, buf
+	movi r2, 4
+	movi r3, 0
+loop:
+	st   [r1 + 0], r2
+	ld   r4, [r1 + 0]
+	add  r3, r3, r4
+	fence
+	addi r2, r2, -1
+	bne  r2, r0, loop
+	halt`
+
+// runTraced assembles src, runs it under cfg with enc installed as the
+// tracer, and closes the encoder.
+func runTraced(t *testing.T, cfg cpu.Config, src string, enc trace.Encoder) *cpu.CPU {
+	t.Helper()
+	p, err := asm.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cfg, p)
+	c.SetTracer(enc.Event)
+	if err := c.Run(testBudget); err != nil {
+		t.Fatalf("cpu run: %v", err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatalf("encoder close: %v", err)
+	}
+	return c
+}
+
+func noRunaheadConfig() cpu.Config {
+	cfg := cpu.DefaultConfig()
+	cfg.Runahead.Kind = runahead.KindNone
+	return cfg
+}
+
+// checkGolden compares got against testdata/<name>, rewriting under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run 'go test ./internal/trace -update' to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s diverged from golden (%d got vs %d want bytes); rerun with -update after intentional changes.\n--- got head ---\n%s",
+			name, len(got), len(want), head(got, 20))
+	}
+}
+
+func head(b []byte, n int) string {
+	lines := strings.SplitAfter(string(b), "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "")
+}
+
+// The Kanata and O3PipeView renderings of the deterministic kernel are
+// pinned byte for byte: any drift in cycle timing, stage mapping or
+// formatting shows up as a golden diff.
+func TestGoldenKanata(t *testing.T) {
+	var buf bytes.Buffer
+	runTraced(t, noRunaheadConfig(), goldenKernel, trace.NewKanata(&buf))
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("Kanata\t0004\n")) {
+		t.Fatalf("missing Kanata header: %q", head(out, 1))
+	}
+	checkGolden(t, "kernel.kanata", out)
+}
+
+func TestGoldenO3(t *testing.T) {
+	var buf bytes.Buffer
+	runTraced(t, noRunaheadConfig(), goldenKernel, trace.NewO3(&buf))
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("O3PipeView:fetch:")) {
+		t.Fatalf("missing O3PipeView records: %q", head(out, 1))
+	}
+	checkGolden(t, "kernel.o3", out)
+}
+
+// stallSrc stalls on a flushed load with a dependent chain behind it, which
+// drives the default config into runahead (episodes > 0).
+const stallSrc = `
+	.data 0x100000
+	x:    .zero 64
+	stk:  .zero 512
+	start:
+	movi r1, x
+	movi r9, 2
+round:
+	clflush [r1 + 0]
+	fence
+	ld   r3, [r1 + 0]
+	addi r4, r3, 1
+	addi r5, r4, 1
+	addi r6, r5, 1
+	addi r9, r9, -1
+	bne  r9, r0, round
+	halt`
+
+// collector accumulates raw events for structural assertions.
+type collector struct{ events []cpu.TraceEvent }
+
+func (c *collector) Event(ev cpu.TraceEvent) { c.events = append(c.events, ev) }
+func (c *collector) Close() error            { return nil }
+
+// With runahead on, the trace must carry the runahead annotations: events in
+// ModeRunahead with nonzero episode ids, pseudo-retires, and runahead-exit
+// squashes (WrongPath=false) — and the TraceCommit stream must align 1:1, in
+// order, with the commit hook's records.
+func TestRunaheadAnnotations(t *testing.T) {
+	var col collector
+	var commits []cpu.CommitRecord
+
+	p, err := asm.Parse("t", stallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.DefaultConfig(), p)
+	c.SetTracer(col.Event)
+	c.SetCommitHook(func(r cpu.CommitRecord) { commits = append(commits, r) })
+	if err := c.Run(testBudget); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().RunaheadEpisodes == 0 {
+		t.Fatal("stall program triggered no runahead episode")
+	}
+
+	var pseudo, raEvents, exitSquash, wrongPath int
+	var traceCommits []cpu.TraceEvent
+	for _, ev := range col.events {
+		if ev.Mode == cpu.ModeRunahead {
+			raEvents++
+			if ev.Episode == 0 {
+				t.Fatalf("runahead-mode event with episode 0: %+v", ev)
+			}
+		}
+		switch ev.Stage {
+		case cpu.TracePseudoRetire:
+			pseudo++
+			if ev.Mode != cpu.ModeRunahead {
+				t.Fatalf("pseudo-retire outside runahead: %+v", ev)
+			}
+		case cpu.TraceSquash:
+			if ev.WrongPath {
+				wrongPath++
+			} else {
+				exitSquash++
+				if ev.Mode != cpu.ModeRunahead {
+					t.Fatalf("runahead-exit squash not in runahead mode: %+v", ev)
+				}
+			}
+		case cpu.TraceCommit:
+			if ev.Mode != cpu.ModeNormal {
+				t.Fatalf("architectural commit in runahead mode: %+v", ev)
+			}
+			traceCommits = append(traceCommits, ev)
+		}
+	}
+	if raEvents == 0 || pseudo == 0 || exitSquash == 0 {
+		t.Fatalf("missing runahead annotations: %d runahead events, %d pseudo-retires, %d exit squashes",
+			raEvents, pseudo, exitSquash)
+	}
+	if len(traceCommits) != len(commits) {
+		t.Fatalf("%d TraceCommit events vs %d commit records", len(traceCommits), len(commits))
+	}
+	for i, r := range commits {
+		// CommitRecord.Seq is commit order, not the uop seq; PC and opcode
+		// identify the instruction.
+		ev := traceCommits[i]
+		if ev.PC != r.PC || ev.Inst.Op != r.Op {
+			t.Fatalf("commit %d: trace (pc %#x %v) vs record (pc %#x %v)",
+				i, ev.PC, ev.Inst.Op, r.PC, r.Op)
+		}
+	}
+}
+
+// Per-uop stage ordering: fetch precedes dispatch precedes issue precedes
+// complete precedes the terminal event, and every fetched uop reaches
+// exactly one terminal event (the kernel runs to halt, so nothing is left
+// in flight).
+func TestLifecycleOrdering(t *testing.T) {
+	var col collector
+	runTraced(t, cpu.DefaultConfig(), goldenKernel, &col)
+
+	type life struct {
+		fetch, dispatch, issue, complete int
+		terminal                         int
+		last                             cpu.TraceStage
+	}
+	seen := map[uint64]*life{}
+	order := map[cpu.TraceStage]int{
+		cpu.TraceFetch: 0, cpu.TraceDispatch: 1, cpu.TraceIssue: 2,
+		cpu.TraceReplay: 2, cpu.TraceComplete: 3,
+		cpu.TraceCommit: 4, cpu.TracePseudoRetire: 4, cpu.TraceSquash: 4,
+	}
+	prevCycle := uint64(0)
+	for _, ev := range col.events {
+		if ev.Cycle < prevCycle {
+			t.Fatalf("events not in cycle order: %d after %d", ev.Cycle, prevCycle)
+		}
+		prevCycle = ev.Cycle
+		l := seen[ev.Seq]
+		if l == nil {
+			if ev.Stage != cpu.TraceFetch {
+				t.Fatalf("seq %d first event is %s, want fetch", ev.Seq, ev.Stage)
+			}
+			seen[ev.Seq] = &life{fetch: 1, last: ev.Stage}
+			continue
+		}
+		if order[ev.Stage] < order[l.last] && !(ev.Stage == cpu.TraceIssue && l.last == cpu.TraceReplay) {
+			t.Fatalf("seq %d: %s after %s", ev.Seq, ev.Stage, l.last)
+		}
+		l.last = ev.Stage
+		switch ev.Stage {
+		case cpu.TraceDispatch:
+			l.dispatch++
+		case cpu.TraceIssue:
+			l.issue++
+		case cpu.TraceComplete:
+			l.complete++
+		case cpu.TraceCommit, cpu.TracePseudoRetire, cpu.TraceSquash:
+			l.terminal++
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no uops traced")
+	}
+	for seq, l := range seen {
+		if l.terminal != 1 {
+			t.Fatalf("seq %d: %d terminal events, want exactly 1", seq, l.terminal)
+		}
+		if l.dispatch > 1 || l.issue > 1 || l.complete > 1 {
+			t.Fatalf("seq %d: repeated stage (dispatch %d, issue %d, complete %d)",
+				seq, l.dispatch, l.issue, l.complete)
+		}
+	}
+}
+
+// Every JSONL line must parse, carry the fixed fields, and tag replay events
+// with a reason.
+func TestJSONLWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	runTraced(t, cpu.DefaultConfig(), goldenKernel, trace.NewJSONL(&buf))
+
+	sc := bufio.NewScanner(&buf)
+	lines, replays := 0, 0
+	for sc.Scan() {
+		lines++
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d: %v: %s", lines, err, sc.Text())
+		}
+		for _, k := range []string{"cycle", "stage", "seq", "pc", "inst", "mode"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("line %d missing %q: %s", lines, k, sc.Text())
+			}
+		}
+		if !strings.HasPrefix(m["pc"].(string), "0x") {
+			t.Fatalf("line %d pc not hex: %s", lines, sc.Text())
+		}
+		if m["stage"] == "replay" {
+			replays++
+			if r, ok := m["reason"].(string); !ok || r == "" || r == "none" {
+				t.Fatalf("replay event without reason: %s", sc.Text())
+			}
+		}
+	}
+	if lines == 0 {
+		t.Fatal("no JSONL output")
+	}
+	if replays == 0 {
+		t.Fatal("kernel's fences produced no replay events") // fence serializes at ROB head
+	}
+}
+
+// Window keeps only uops fetched inside [start, end) but follows each
+// admitted uop through its whole lifecycle, even past the window edge.
+func TestWindow(t *testing.T) {
+	var full collector
+	runTraced(t, noRunaheadConfig(), goldenKernel, &full)
+
+	// Pick window bounds from the actual fetch cycles (fetch clusters early;
+	// a window over the drain tail would be legitimately empty).
+	fetchCycle := map[uint64]uint64{}
+	var fetches []uint64
+	for _, ev := range full.events {
+		if ev.Stage == cpu.TraceFetch {
+			fetchCycle[ev.Seq] = ev.Cycle
+			fetches = append(fetches, ev.Cycle)
+		}
+	}
+	if len(fetches) < 4 {
+		t.Fatalf("kernel too small to window: %d fetches", len(fetches))
+	}
+	start, end := fetches[len(fetches)/4], fetches[3*len(fetches)/4]+1
+	if start == 0 {
+		start = 1
+	}
+
+	var win collector
+	runTraced(t, noRunaheadConfig(), goldenKernel, trace.Window(&win, start, end))
+	if len(win.events) == 0 {
+		t.Fatalf("empty window [%d,%d)", start, end)
+	}
+	if len(win.events) >= len(full.events) {
+		t.Fatal("window filtered nothing")
+	}
+	got := map[uint64][]cpu.TraceEvent{}
+	for _, ev := range win.events {
+		fc, ok := fetchCycle[ev.Seq]
+		if !ok {
+			t.Fatalf("windowed event for unknown seq %d", ev.Seq)
+		}
+		if fc < start || fc >= end {
+			t.Fatalf("seq %d fetched at cycle %d leaked into window [%d,%d)", ev.Seq, fc, start, end)
+		}
+		got[ev.Seq] = append(got[ev.Seq], ev)
+	}
+	// Each admitted seq's windowed lifecycle equals its full-run lifecycle.
+	want := map[uint64][]cpu.TraceEvent{}
+	for _, ev := range full.events {
+		fc := fetchCycle[ev.Seq]
+		if fc >= start && fc < end {
+			want[ev.Seq] = append(want[ev.Seq], ev)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("window admitted %d seqs, want %d", len(got), len(want))
+	}
+	for seq, evs := range want {
+		if fmt.Sprint(got[seq]) != fmt.Sprint(evs) {
+			t.Fatalf("seq %d windowed lifecycle differs from full run", seq)
+		}
+	}
+}
+
+// Wrong-path squashes must be flagged: the golden kernel's loop exit
+// mispredicts at least once, so the trace carries WrongPath squashes whose
+// uops never appear in the commit stream.
+func TestWrongPathFlag(t *testing.T) {
+	var col collector
+	var commits []cpu.CommitRecord
+	p, err := asm.Parse("t", goldenKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(noRunaheadConfig(), p)
+	c.SetTracer(col.Event)
+	c.SetCommitHook(func(r cpu.CommitRecord) { commits = append(commits, r) })
+	if err := c.Run(testBudget); err != nil {
+		t.Fatal(err)
+	}
+	// Committed uop seqs come from the trace itself (CommitRecord.Seq is
+	// commit order, not uop seq); the record stream pins the count and PCs.
+	committed := map[uint64]bool{}
+	var traceCommits []cpu.TraceEvent
+	for _, ev := range col.events {
+		if ev.Stage == cpu.TraceCommit {
+			committed[ev.Seq] = true
+			traceCommits = append(traceCommits, ev)
+		}
+	}
+	if len(traceCommits) != len(commits) {
+		t.Fatalf("%d TraceCommit events vs %d commit records", len(traceCommits), len(commits))
+	}
+	for i, r := range commits {
+		if traceCommits[i].PC != r.PC {
+			t.Fatalf("commit %d: trace pc %#x vs record pc %#x", i, traceCommits[i].PC, r.PC)
+		}
+	}
+	wrong := 0
+	for _, ev := range col.events {
+		if ev.Stage == cpu.TraceSquash && ev.WrongPath {
+			wrong++
+			if committed[ev.Seq] {
+				t.Fatalf("seq %d both committed and wrong-path squashed", ev.Seq)
+			}
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("no wrong-path squashes traced (loop exit should mispredict)")
+	}
+}
