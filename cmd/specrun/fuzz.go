@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"specrun/internal/difftest"
 	"specrun/internal/leak"
+	"specrun/internal/prog"
 	"specrun/internal/server"
 	"specrun/internal/sweep"
 )
@@ -35,6 +38,7 @@ func runFuzz(args []string) error {
 	leaks := fs.Bool("leaks", false, "microarchitectural leak oracle: run each program twice with two secret valuations and diff the speculative observation traces")
 	jsonOut := fs.Bool("json", false, "emit the campaign report as canonical JSON (matches POST /v1/run/fuzz)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line on stderr")
+	reproDir := fs.String("repro-dir", "", "save each minimized reproducer as .sprog binary + .asm disassembly under this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,7 +73,7 @@ func runFuzz(args []string) error {
 	}
 
 	if spec.Leaks {
-		return runLeakFuzz(ctx, spec, opt, *duration, *jsonOut, *quiet)
+		return runLeakFuzz(ctx, spec, opt, *duration, *jsonOut, *quiet, *reproDir)
 	}
 
 	// Duration mode runs successive rounds over fresh seed ranges; a single
@@ -95,6 +99,13 @@ func runFuzz(args []string) error {
 	if report.Configs == 0 {
 		return runErr // the campaign never started (validation failure)
 	}
+	var repros []*difftest.Reproducer
+	for _, d := range report.Divergences {
+		repros = append(repros, d.Minimized)
+	}
+	if err := saveRepros(*reproDir, repros); err != nil {
+		return err
+	}
 	if *jsonOut {
 		b, err := server.Encode(report)
 		if err != nil {
@@ -117,7 +128,7 @@ func runFuzz(args []string) error {
 // are findings, not failures — a leaky insecure configuration is the
 // behaviour the paper documents — so the exit status reflects only oracle
 // errors (run_error / seq_divergence).
-func runLeakFuzz(ctx context.Context, spec difftest.CampaignSpec, opt sweep.Options, duration time.Duration, jsonOut, quiet bool) error {
+func runLeakFuzz(ctx context.Context, spec difftest.CampaignSpec, opt sweep.Options, duration time.Duration, jsonOut, quiet bool, reproDir string) error {
 	start := time.Now()
 	report, runErr := leak.Run(ctx, spec, opt)
 	if !quiet {
@@ -136,6 +147,13 @@ func runLeakFuzz(ctx context.Context, spec difftest.CampaignSpec, opt sweep.Opti
 	if report.Configs == 0 {
 		return runErr
 	}
+	var repros []*difftest.Reproducer
+	for _, f := range report.Findings {
+		repros = append(repros, f.Minimized)
+	}
+	if err := saveRepros(reproDir, repros); err != nil {
+		return err
+	}
 	if jsonOut {
 		b, err := server.Encode(report)
 		if err != nil {
@@ -152,6 +170,58 @@ func runLeakFuzz(ctx context.Context, spec difftest.CampaignSpec, opt sweep.Opti
 		return fmt.Errorf("fuzz: %d oracle errors across %d runs", report.Errors, report.Runs)
 	}
 	return nil
+}
+
+// saveRepros writes each minimized reproducer's interchange artifacts —
+// repro-seed<N>.sprog (canonical binary) and repro-seed<N>.asm (its
+// disassembly) — under dir.  Reproducers are deduplicated by seed; a nil or
+// artifact-less reproducer is skipped.  No-op when dir is empty.
+func saveRepros(dir string, repros []*difftest.Reproducer) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	seen := make(map[int64]bool)
+	for _, r := range repros {
+		if r == nil || len(r.Sprog) == 0 || seen[r.Seed] {
+			continue
+		}
+		seen[r.Seed] = true
+		stem := filepath.Join(dir, fmt.Sprintf("repro-seed%d", r.Seed))
+		if err := os.WriteFile(stem+prog.Ext, r.Sprog, 0o644); err != nil {
+			return err
+		}
+		text, err := prog.Disassemble(r.Sprog)
+		if err != nil {
+			return fmt.Errorf("repro seed %d: %v", r.Seed, err)
+		}
+		if err := os.WriteFile(stem+".asm", []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fuzz: saved %s%s (%d bytes, sha256 %.12s) and %s.asm\n",
+			stem, prog.Ext, len(r.Sprog), prog.Hash(r.Sprog), stem)
+	}
+	return nil
+}
+
+// printRepro renders a minimized reproducer: its identity line, the .sprog
+// content address, and the reduced program's disassembly.
+func printRepro(min *difftest.Reproducer) {
+	fmt.Printf("    minimized reproducer: seed=%d len=%d options=%+v\n",
+		min.Seed, min.Options.Len, min.Options)
+	if len(min.Sprog) == 0 {
+		return
+	}
+	text, err := prog.Disassemble(min.Sprog)
+	if err != nil {
+		return
+	}
+	fmt.Printf("    sprog: %d bytes, sha256 %.12s\n", len(min.Sprog), prog.Hash(min.Sprog))
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		fmt.Printf("      %s\n", line)
+	}
 }
 
 func printLeakReport(r leak.Report) {
@@ -181,8 +251,7 @@ func printLeakReport(r leak.Report) {
 		}
 		fmt.Printf("  leak seed %d / %s: pc=%#x line=%#x via %s\n", f.Seed, f.Config, f.PC, f.Line, f.Event)
 		if f.Minimized != nil {
-			fmt.Printf("    minimized reproducer: seed=%d len=%d options=%+v\n",
-				f.Minimized.Seed, f.Minimized.Options.Len, f.Minimized.Options)
+			printRepro(f.Minimized)
 		}
 	}
 }
@@ -207,8 +276,7 @@ func printFuzzReport(r difftest.Report) {
 	for _, d := range r.Divergences {
 		fmt.Printf("  seed %d / %s: %s: %s\n", d.Seed, d.Config, d.Kind, d.Detail)
 		if d.Minimized != nil {
-			fmt.Printf("    minimized reproducer: seed=%d len=%d options=%+v\n",
-				d.Minimized.Seed, d.Minimized.Options.Len, d.Minimized.Options)
+			printRepro(d.Minimized)
 		}
 	}
 }

@@ -25,6 +25,12 @@
 //	specrun trace [flags]      per-uop pipeline lifecycle trace of a kernel,
 //	                           proggen seed or attack PoC (Kanata, gem5
 //	                           O3PipeView, JSONL or occupancy CSV)
+//	specrun asm [flags] file   assemble source to the canonical .sprog
+//	                           interchange binary
+//	specrun disasm [flags] f   canonical disassembly of a .sprog binary
+//	                           (round-trips to identical bytes)
+//	specrun run [flags] file   execute an interchange program (asm or .sprog)
+//	                           and report pipeline statistics
 //	specrun version            module version / VCS revision
 //	specrun all                everything above, in paper order
 //
@@ -81,6 +87,12 @@ func main() {
 		fmt.Println("specrun", server.Version())
 	case "trace":
 		err = runTrace(args)
+	case "asm":
+		err = runAsm(args)
+	case "disasm":
+		err = runDisasm(args)
+	case "run":
+		err = runRun(args)
 	case "all":
 		fmt.Print(core.Table1(core.DefaultConfig()))
 		fmt.Println()
@@ -101,7 +113,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: specrun <config|ipc|fig9|window|fig11|defense|variants|attack|leak|sweep|fuzz|bench|serve|version|trace|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: specrun <config|ipc|fig9|window|fig11|defense|variants|attack|leak|sweep|fuzz|bench|serve|version|trace|asm|disasm|run|all> [flags]`)
 }
 
 // figureFormat parses the --format flag shared by the figure subcommands.

@@ -5,12 +5,14 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"specrun"
@@ -52,6 +54,65 @@ func main() {
 	// A different machine (half the ROB) is a different cache entry.
 	_, cache3, _ := post(base+"/v1/run/fig9", `{"config": {"rob_size": 128}}`)
 	fmt.Printf("POST /v1/run/fig9   %-4s  (rob_size 128: new configuration, new entry)\n\n", cache3)
+
+	// Program interchange: POST /v1/run/program accepts an arbitrary program
+	// as assembly text.  The response names the program by the SHA-256 of
+	// its canonical .sprog binary — its content address.
+	src := ".org 0x1000\nstart:\n  movi r1, 64\nloop:\n  addi r1, r1, -1\n  bne r1, r0, loop\n  halt\n"
+	asmReq, _ := json.Marshal(map[string]any{"asm": src})
+	body4, cache4, _ := post(base+"/v1/run/program", string(asmReq))
+	var progRes struct {
+		Sprog string `json:"sprog_sha256"`
+		Insts int    `json:"insts"`
+		Stats struct {
+			Cycles    uint64 `json:"cycles"`
+			Committed uint64 `json:"committed"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(body4, &progRes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /v1/run/program %-4s  asm:    %d insts, %d cycles, sprog %.12s\n",
+		cache4, progRes.Insts, progRes.Stats.Cycles, progRes.Sprog)
+
+	// The same program in canonical binary form is the same content address,
+	// so it lands on the same cache entry (HIT, byte-identical body).
+	bin, err := specrun.AssembleProgram("example", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	binReq, _ := json.Marshal(map[string]any{"binary": bin}) // []byte → base64
+	body5, cache5, _ := post(base+"/v1/run/program", string(binReq))
+	fmt.Printf("POST /v1/run/program %-4s  binary: same entry, byte-identical: %v\n\n",
+		cache5, bytes.Equal(body4, body5))
+
+	// The async arm: submit the program as a job and follow its lifecycle on
+	// the SSE stream — "progress" events while it runs, then one terminal
+	// event named after the final status.
+	jobReq, _ := json.Marshal(map[string]any{"program": map[string]any{"asm": src}})
+	jobResp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(jobReq))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var jobView struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(jobResp.Body).Decode(&jobView); err != nil {
+		log.Fatal(err)
+	}
+	jobResp.Body.Close()
+	events, err := http.Get(base + "/v1/jobs/" + jobView.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer events.Body.Close()
+	sc := bufio.NewScanner(events.Body)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			fmt.Printf("GET  /v1/jobs/%s/events   event: %s\n", jobView.ID, name)
+		}
+	}
+	fmt.Println()
 
 	// The server's own accounting.
 	resp, err := http.Get(base + "/v1/stats")

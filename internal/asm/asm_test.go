@@ -1,6 +1,8 @@
 package asm
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -231,38 +233,106 @@ func TestParseIndexNoScale(t *testing.T) {
 	}
 }
 
-// Round trip: the disassembly of a parsed program re-parses to identical
-// instructions (labels become absolute addresses, which the parser accepts).
+// samePrograms fails the test unless a and b are semantically identical:
+// same base, instructions, segments (order, address, bytes) and symbols.
+func samePrograms(t *testing.T, a, b *Program) {
+	t.Helper()
+	if a.Base != b.Base {
+		t.Fatalf("base %#x != %#x", a.Base, b.Base)
+	}
+	if len(a.Insts) != len(b.Insts) {
+		t.Fatalf("inst count %d != %d", len(a.Insts), len(b.Insts))
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("inst %d: %v != %v", i, a.Insts[i], b.Insts[i])
+		}
+	}
+	if len(a.Segments) != len(b.Segments) {
+		t.Fatalf("segment count %d != %d", len(a.Segments), len(b.Segments))
+	}
+	for i := range a.Segments {
+		if a.Segments[i].Addr != b.Segments[i].Addr ||
+			!bytes.Equal(a.Segments[i].Data, b.Segments[i].Data) {
+			t.Fatalf("segment %d differs: %#x/%d vs %#x/%d bytes",
+				i, a.Segments[i].Addr, len(a.Segments[i].Data),
+				b.Segments[i].Addr, len(b.Segments[i].Data))
+		}
+	}
+	if len(a.Symbols) != len(b.Symbols) {
+		t.Fatalf("symbol count %d != %d", len(a.Symbols), len(b.Symbols))
+	}
+	for name, v := range a.Symbols {
+		if got, ok := b.Symbols[name]; !ok || got != v {
+			t.Fatalf("symbol %q: %#x vs %#x (present=%v)", name, v, got, ok)
+		}
+	}
+}
+
+// Round trip: the disassembly is a complete interchange form — it re-parses
+// to an identical program, and re-disassembles to identical text.
 func TestDisassembleRoundTrip(t *testing.T) {
 	p := MustParse("t", sampleSrc)
-	dis := p.Disassemble()
-	var b strings.Builder
-	b.WriteString(".org 0x2000\n")
-	for _, line := range strings.Split(dis, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasSuffix(line, ":") {
-			continue
-		}
-		// Drop the address column.
-		fields := strings.SplitN(line, "  ", 2)
-		if len(fields) != 2 {
-			t.Fatalf("bad disassembly line %q", line)
-		}
-		b.WriteString(strings.TrimSpace(fields[1]) + "\n")
-	}
-	p2, err := Parse("rt", b.String())
+	text := p.Disassemble()
+	p2, err := Parse("rt", text)
 	if err != nil {
-		t.Fatalf("re-parse: %v\n%s", err, b.String())
+		t.Fatalf("re-parse: %v\n%s", err, text)
 	}
-	if len(p2.Insts) != len(p.Insts) {
-		t.Fatalf("inst count %d != %d", len(p2.Insts), len(p.Insts))
+	samePrograms(t, p, p2)
+	if text2 := p2.Disassemble(); text2 != text {
+		t.Fatalf("disassembly not a fixed point:\n--- first\n%s\n--- second\n%s", text, text2)
 	}
-	for i := range p.Insts {
-		a, c := p.Insts[i], p2.Insts[i]
-		// The mov pseudo disassembles as addi; compare semantics.
-		if a.Op != c.Op || a.Rd != c.Rd || a.Rs1 != c.Rs1 || a.Rs2 != c.Rs2 ||
-			a.Rs3 != c.Rs3 || a.Imm != c.Imm || a.Target != c.Target || a.Scale != c.Scale {
-			t.Fatalf("inst %d: %v != %v", i, a, c)
-		}
+}
+
+func TestDisassembleFloatExact(t *testing.T) {
+	src := ".org 0x1000\n" +
+		"fmovi f0, 1.5\n" +
+		"fmovi f1, 0.1\n" +
+		"fmovi f2, -0.0\n" +
+		"fmovi f3, nan:0x7ff800000000beef\n" +
+		"halt\n"
+	p := MustParse("t", src)
+	p2, err := Parse("rt", p.Disassemble())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, p.Disassemble())
+	}
+	samePrograms(t, p, p2)
+	if got := uint64(p.Insts[3].Imm); got != 0x7ff800000000beef {
+		t.Fatalf("nan payload = %#x", got)
+	}
+}
+
+func TestParseHexDirective(t *testing.T) {
+	p := MustParse("t", ".data 0x300000\nblob: .hex deadbeef\nhalt")
+	if got := p.MustSym("blob"); got != 0x300000 {
+		t.Fatalf("blob = %#x", got)
+	}
+	if len(p.Segments) != 1 || !bytes.Equal(p.Segments[0].Data, []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Fatalf("segments = %+v", p.Segments)
+	}
+	if _, err := Parse("t", ".hex abc"); err == nil || !strings.Contains(err.Error(), "even number") {
+		t.Fatalf("odd .hex: err = %v", err)
+	}
+}
+
+// Parse errors carry file, line, column and the offending token.
+func TestParseErrorPosition(t *testing.T) {
+	src := "nop\nnop\n  add r1, q7, r3\nhalt"
+	_, err := Parse("t", src)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T is not *ParseError: %v", err, err)
+	}
+	if pe.File != "t" || pe.Line != 3 || pe.Tok != "q7" {
+		t.Fatalf("position = %q line %d tok %q", pe.File, pe.Line, pe.Tok)
+	}
+	if wantCol := strings.Index("  add r1, q7, r3", "q7") + 1; pe.Col != wantCol {
+		t.Fatalf("col = %d, want %d", pe.Col, wantCol)
+	}
+	if s := err.Error(); !strings.Contains(s, "t:3:") || !strings.Contains(s, "q7") {
+		t.Fatalf("error text %q lacks position", s)
 	}
 }

@@ -1,0 +1,149 @@
+package asm
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"specrun/internal/isa"
+)
+
+// Disassemble renders the program as canonical assembly text.  The output is
+// a complete interchange form, not a listing: Parse re-assembles it into an
+// identical Program — same base, instruction sequence, data segments (order,
+// addresses and bytes) and symbol table — which is what pins the
+// asm → binary → asm round-trip.
+//
+// Canonical layout: `.org`, then the constant symbols as a sorted `.equ`
+// block, then the text with code labels at their PCs and symbol-aware
+// branch/jump targets, then one `.data`+`.hex` pair per data segment in
+// original order.  The rendering is deterministic: disassembling equal
+// programs yields equal text.
+func (p *Program) Disassemble() string {
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Classify each symbol exactly once: a code label if it names an
+	// instruction-aligned PC inside the text, a data label if it names a
+	// segment start (first match in segment order), otherwise an .equ
+	// constant.  Every class re-parses to the same name→value binding.
+	isCodePC := func(v uint64) bool {
+		return v >= p.Base && v < p.End() && (v-p.Base)%isa.InstBytes == 0
+	}
+	codeLabels := make(map[uint64][]string)
+	used := make(map[string]bool, len(names))
+	for _, name := range names {
+		if v := p.Symbols[name]; isCodePC(v) {
+			codeLabels[v] = append(codeLabels[v], name)
+			used[name] = true
+		}
+	}
+	dataLabel := make(map[int]string, len(p.Segments))
+	for i, seg := range p.Segments {
+		for _, name := range names {
+			if !used[name] && p.Symbols[name] == seg.Addr {
+				dataLabel[i] = name
+				used[name] = true
+				break
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, ".org %#x\n", p.Base)
+	for _, name := range names {
+		if !used[name] {
+			fmt.Fprintf(&b, ".equ %s %#x\n", name, p.Symbols[name])
+		}
+	}
+	symAt := func(addr uint64) string {
+		if ns := codeLabels[addr]; len(ns) > 0 {
+			return ns[0]
+		}
+		return ""
+	}
+	for i, in := range p.Insts {
+		pc := p.Base + uint64(i)*isa.InstBytes
+		for _, name := range codeLabels[pc] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  %s\n", formatInst(in, symAt))
+	}
+	for i, seg := range p.Segments {
+		fmt.Fprintf(&b, ".data %#x\n", seg.Addr)
+		if lbl, ok := dataLabel[i]; ok {
+			fmt.Fprintf(&b, "%s: .hex %s\n", lbl, hex.EncodeToString(seg.Data))
+		} else {
+			fmt.Fprintf(&b, ".hex %s\n", hex.EncodeToString(seg.Data))
+		}
+	}
+	return b.String()
+}
+
+// formatInst renders one instruction in assembler syntax.  symAt resolves a
+// branch/jump target address to a code label (empty string if none); all
+// other operands are numeric.  Float immediates use exact forms (Go
+// hex-float, or nan:0x<bits> for NaN payloads) so re-assembly is bit-exact.
+func formatInst(in isa.Inst, symAt func(uint64) string) string {
+	var args []string
+	addr := func() string {
+		if in.UsesIndex() {
+			return fmt.Sprintf("[%s + %s*%d + %d]", in.Rs1, in.Rs2, 1<<in.Scale, in.Imm)
+		}
+		return fmt.Sprintf("[%s + %d]", in.Rs1, in.Imm)
+	}
+	target := func() string {
+		if name := symAt(in.Target); name != "" {
+			return name
+		}
+		return fmt.Sprintf("%#x", in.Target)
+	}
+	switch in.Op.Kind() {
+	case isa.KindALU:
+		switch in.Op {
+		case isa.MOVI:
+			args = []string{in.Rd.String(), strconv.FormatInt(in.Imm, 10)}
+		case isa.FMOVI:
+			args = []string{in.Rd.String(), formatFloatImm(in.Imm)}
+		case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
+			args = []string{in.Rd.String(), in.Rs1.String(), strconv.FormatInt(in.Imm, 10)}
+		default:
+			args = []string{in.Rd.String(), in.Rs1.String(), in.Rs2.String()}
+		}
+	case isa.KindLoad:
+		args = []string{in.Rd.String(), addr()}
+	case isa.KindStore:
+		args = []string{addr(), in.Rs3.String()}
+	case isa.KindBranch:
+		args = []string{in.Rs1.String(), in.Rs2.String(), target()}
+	case isa.KindJump, isa.KindCall:
+		args = []string{target()}
+	case isa.KindJumpR, isa.KindCallR:
+		args = []string{in.Rs1.String()}
+	case isa.KindFlush:
+		args = []string{addr()}
+	case isa.KindRDTSC:
+		args = []string{in.Rd.String()}
+	}
+	if len(args) == 0 {
+		return in.Op.Name()
+	}
+	return in.Op.Name() + " " + strings.Join(args, ", ")
+}
+
+// formatFloatImm renders an FMOVI immediate (float64 bits) exactly: NaNs as
+// nan:0x<bits> to keep the payload, everything else as a shortest hex float
+// accepted by strconv.ParseFloat.
+func formatFloatImm(imm int64) string {
+	v := math.Float64frombits(uint64(imm))
+	if math.IsNaN(v) {
+		return fmt.Sprintf("nan:%#x", uint64(imm))
+	}
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}

@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"encoding/hex"
 	"fmt"
 	"math"
 	"strconv"
@@ -8,6 +9,28 @@ import (
 
 	"specrun/internal/isa"
 )
+
+// ParseError is an assembly error with source-position context: the file and
+// 1-based line, and — when the parser can attribute the failure to a single
+// token — the 1-based column where that token starts and the token itself.
+type ParseError struct {
+	File string
+	Line int
+	Col  int    // 1-based column of the offending token; 0 when unknown
+	Tok  string // offending token; empty when the whole line is at fault
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	pos := fmt.Sprintf("%s:%d", e.File, e.Line)
+	if e.Col > 0 {
+		pos += ":" + strconv.Itoa(e.Col)
+	}
+	if e.Tok != "" {
+		return fmt.Sprintf("%s: %s (near %q)", pos, e.Msg, e.Tok)
+	}
+	return pos + ": " + e.Msg
+}
 
 // Parse assembles source text into a Program.  The dialect:
 //
@@ -21,17 +44,20 @@ import (
 //	tab: .u64 1, 2, 3    initialised 64-bit words
 //	msg: .byte 1, 2      initialised bytes
 //	s:   .ascii "text"   initialised string
+//	h:   .hex deadbeef   initialised raw bytes (one segment per line)
 //
 //	add r1, r2, r3       ALU register forms
 //	addi r1, r2, -5      ALU immediate forms
 //	movi r1, array1      symbols allowed wherever immediates are
+//	fmovi f0, 1.5        float immediates: decimal, 0x1.8p+00, nan:0x<bits>
 //	ld r1, [r2 + 8]      loads; also [r2], [r2 + r3*8 + off]
 //	st [r2 + 8], r3      stores
 //	beq r1, r2, label    branches; targets are labels or absolute addresses
 //	clflush [r2]         flush; rdtsc r1; call f; ret; nop; fence; halt
 //
 // Assembly is two-pass: pass one sizes text/data and collects symbols, pass
-// two emits instructions with all symbols resolved.
+// two emits instructions with all symbols resolved.  Errors carry positions:
+// errors.As against *ParseError yields file, line, column and token.
 func Parse(name, src string) (*Program, error) {
 	p := &parser{
 		file: name,
@@ -64,6 +90,13 @@ func MustParse(name, src string) *Program {
 	return p
 }
 
+// ValidSymbol reports whether name is a legal assembly identifier, usable as
+// a label or .equ name.  The binary codec enforces the same alphabet so every
+// decoded symbol table survives disassembly.
+func ValidSymbol(name string) bool {
+	return isIdent(name)
+}
+
 type parser struct {
 	file    string
 	base    uint64
@@ -74,6 +107,8 @@ type parser struct {
 	insts   []isa.Inst
 	segs    []Segment
 	pass    int
+	lineNo  int    // 1-based line currently being parsed
+	raw     string // raw text of that line, for column recovery
 }
 
 func (p *parser) reset() {
@@ -84,17 +119,48 @@ func (p *parser) reset() {
 	p.segs = nil
 }
 
+// tokErr builds a ParseError at the current line, locating tok in the raw
+// source text to recover its column.
+func (p *parser) tokErr(tok, format string, args ...any) error {
+	tok = strings.TrimSpace(tok)
+	col := 0
+	if tok != "" {
+		if i := strings.Index(p.raw, tok); i >= 0 {
+			col = i + 1
+		}
+	}
+	return &ParseError{File: p.file, Line: p.lineNo, Col: col, Tok: tok, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lineErr builds a ParseError covering the whole current line.
+func (p *parser) lineErr(format string, args ...any) error {
+	return &ParseError{File: p.file, Line: p.lineNo, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseReg wraps isa.ParseReg with token position context.
+func (p *parser) parseReg(s string) (isa.Reg, error) {
+	r, err := isa.ParseReg(strings.TrimSpace(s))
+	if err != nil {
+		return r, p.tokErr(s, "%v", err)
+	}
+	return r, nil
+}
+
 func (p *parser) run(src string, pass int) error {
 	p.pass = pass
 	p.pc = p.base
 	for lineNo, raw := range strings.Split(src, "\n") {
+		p.lineNo, p.raw = lineNo+1, raw
 		line := stripComment(raw)
 		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
 		if err := p.line(line); err != nil {
-			return fmt.Errorf("%s:%d: %v", p.file, lineNo+1, err)
+			if _, ok := err.(*ParseError); ok {
+				return err
+			}
+			return &ParseError{File: p.file, Line: p.lineNo, Msg: err.Error()}
 		}
 	}
 	return nil
@@ -121,11 +187,15 @@ func (p *parser) define(name string, v uint64) error {
 		return nil // already collected in pass one
 	}
 	if _, dup := p.syms[name]; dup {
-		return fmt.Errorf("duplicate symbol %q", name)
+		return p.tokErr(name, "duplicate symbol %q", name)
 	}
 	p.syms[name] = v
 	return nil
 }
+
+// dataDirectives are the directives that emit or reserve data: a label
+// sharing their line names the data cursor, not the current PC.
+var dataDirectives = []string{".zero", ".u64", ".byte", ".ascii", ".hex"}
 
 func (p *parser) line(line string) error {
 	// Peel off "label:" prefixes.
@@ -141,8 +211,14 @@ func (p *parser) line(line string) error {
 		rest := strings.TrimSpace(line[idx+1:])
 		// A label before a data directive names the data cursor; before an
 		// instruction (or nothing) it names the current PC.
-		if strings.HasPrefix(rest, ".zero") || strings.HasPrefix(rest, ".u64") ||
-			strings.HasPrefix(rest, ".byte") || strings.HasPrefix(rest, ".ascii") {
+		isData := false
+		for _, d := range dataDirectives {
+			if strings.HasPrefix(rest, d) {
+				isData = true
+				break
+			}
+		}
+		if isData {
 			if err := p.define(head, p.data); err != nil {
 				return err
 			}
@@ -218,7 +294,7 @@ func (p *parser) directive(line string) error {
 			return err
 		}
 		if len(p.insts) > 0 || (p.pass == 1 && p.pc != p.base) {
-			return fmt.Errorf(".org after instructions")
+			return p.lineErr(".org after instructions")
 		}
 		p.base, p.baseSet = uint64(v), true
 		p.pc = p.base
@@ -237,14 +313,14 @@ func (p *parser) directive(line string) error {
 		}
 		a := uint64(v)
 		if a == 0 || a&(a-1) != 0 {
-			return fmt.Errorf(".align %d is not a power of two", a)
+			return p.tokErr(rest, ".align %d is not a power of two", a)
 		}
 		p.data = (p.data + a - 1) &^ (a - 1)
 		return nil
 	case ".equ":
 		parts := strings.Fields(rest)
 		if len(parts) != 2 {
-			return fmt.Errorf(".equ wants name and value")
+			return p.lineErr(".equ wants name and value")
 		}
 		v, err := p.immediate(parts[1])
 		if err != nil {
@@ -297,15 +373,28 @@ func (p *parser) directive(line string) error {
 	case ".ascii":
 		s, err := strconv.Unquote(rest)
 		if err != nil {
-			return fmt.Errorf(".ascii: %v", err)
+			return p.tokErr(rest, ".ascii: %v", err)
 		}
 		if p.pass == 2 {
 			p.segs = append(p.segs, Segment{Addr: p.data, Data: []byte(s)})
 		}
 		p.data += uint64(len(s))
 		return nil
+	case ".hex":
+		if len(rest)%2 != 0 {
+			return p.tokErr(rest, ".hex wants an even number of hex digits")
+		}
+		if p.pass == 2 {
+			data, err := hex.DecodeString(rest)
+			if err != nil {
+				return p.tokErr(rest, ".hex: %v", err)
+			}
+			p.segs = append(p.segs, Segment{Addr: p.data, Data: data})
+		}
+		p.data += uint64(len(rest) / 2)
+		return nil
 	}
-	return fmt.Errorf("unknown directive %q", dir)
+	return p.tokErr(dir, "unknown directive %q", dir)
 }
 
 // immediate evaluates an integer literal or symbol.  During pass one symbols
@@ -313,7 +402,7 @@ func (p *parser) directive(line string) error {
 func (p *parser) immediate(s string) (int64, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
-		return 0, fmt.Errorf("missing immediate")
+		return 0, p.lineErr("missing immediate")
 	}
 	neg := false
 	if strings.HasPrefix(s, "-") {
@@ -328,11 +417,11 @@ func (p *parser) immediate(s string) (int64, error) {
 			if p.pass == 1 {
 				return 0, nil
 			}
-			return 0, fmt.Errorf("undefined symbol %q", s)
+			return 0, p.tokErr(s, "undefined symbol %q", s)
 		}
 		v = int64(sym)
 	} else {
-		return 0, fmt.Errorf("bad immediate %q", s)
+		return 0, p.tokErr(s, "bad immediate %q", s)
 	}
 	if neg {
 		v = -v
@@ -345,7 +434,7 @@ func (p *parser) immediate(s string) (int64, error) {
 func (p *parser) memOperand(s string) (base, idx isa.Reg, scale uint8, imm int64, err error) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
-		return 0, 0, 0, 0, fmt.Errorf("bad memory operand %q", s)
+		return 0, 0, 0, 0, p.tokErr(s, "bad memory operand %q", s)
 	}
 	inner := s[1 : len(s)-1]
 	// Normalise "a - b" to "a + -b" so we can split on '+'.
@@ -359,7 +448,7 @@ func (p *parser) memOperand(s string) (base, idx isa.Reg, scale uint8, imm int64
 		}
 		switch {
 		case first:
-			base, err = isa.ParseReg(part)
+			base, err = p.parseReg(part)
 			if err != nil {
 				return
 			}
@@ -368,7 +457,7 @@ func (p *parser) memOperand(s string) (base, idx isa.Reg, scale uint8, imm int64
 			var r isa.Reg
 			var sc int64
 			sub := strings.SplitN(part, "*", 2)
-			r, err = isa.ParseReg(strings.TrimSpace(sub[0]))
+			r, err = p.parseReg(sub[0])
 			if err != nil {
 				return
 			}
@@ -380,14 +469,14 @@ func (p *parser) memOperand(s string) (base, idx isa.Reg, scale uint8, imm int64
 			case 1, 2, 4, 8, 16:
 				scale = uint8(log2(uint64(sc)))
 			default:
-				err = fmt.Errorf("bad scale %d", sc)
+				err = p.tokErr(part, "bad scale %d", sc)
 				return
 			}
 			idx = r
 		default:
 			if r, rerr := isa.ParseReg(part); rerr == nil && !strings.HasPrefix(part, "-") {
 				if idx != isa.NoReg {
-					err = fmt.Errorf("two index registers in %q", s)
+					err = p.tokErr(part, "two index registers in %q", s)
 					return
 				}
 				idx = r // [base + idx] with scale 1
@@ -402,7 +491,7 @@ func (p *parser) memOperand(s string) (base, idx isa.Reg, scale uint8, imm int64
 		}
 	}
 	if first {
-		err = fmt.Errorf("memory operand %q has no base register", s)
+		err = p.tokErr(s, "memory operand %q has no base register", s)
 	}
 	return
 }
@@ -414,6 +503,26 @@ func log2(v uint64) int {
 		n++
 	}
 	return n
+}
+
+// floatImm parses an fmovi operand: a Go float literal (decimal or hex
+// form), or "nan:0x<bits>" carrying an exact 64-bit payload.  The canonical
+// emitter writes hex-float / nan: forms, so parse → emit → parse is
+// bit-exact.
+func (p *parser) floatImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if rest, ok := strings.CutPrefix(s, "nan:"); ok {
+		bits, err := strconv.ParseUint(rest, 0, 64)
+		if err != nil {
+			return 0, p.tokErr(s, "fmovi: bad nan payload: %v", err)
+		}
+		return int64(bits), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, p.tokErr(s, "fmovi: %v", err)
+	}
+	return int64(math.Float64bits(f)), nil
 }
 
 func (p *parser) instruction(line string) error {
@@ -428,13 +537,13 @@ func (p *parser) instruction(line string) error {
 	if mnemonic == "mov" {
 		args := splitArgs(rest)
 		if len(args) != 2 {
-			return fmt.Errorf("mov wants 2 operands")
+			return p.lineErr("mov wants 2 operands")
 		}
-		rd, err := isa.ParseReg(args[0])
+		rd, err := p.parseReg(args[0])
 		if err != nil {
 			return err
 		}
-		rs, err := isa.ParseReg(args[1])
+		rs, err := p.parseReg(args[1])
 		if err != nil {
 			return err
 		}
@@ -444,13 +553,13 @@ func (p *parser) instruction(line string) error {
 
 	op, ok := isa.OpcodeByName(mnemonic)
 	if !ok {
-		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+		return p.tokErr(mnemonic, "unknown mnemonic %q", mnemonic)
 	}
 	args := splitArgs(rest)
 	in := isa.Inst{Op: op}
 	need := func(n int) error {
 		if len(args) != n {
-			return fmt.Errorf("%s wants %d operands, got %d", op, n, len(args))
+			return p.lineErr("%s wants %d operands, got %d", op, n, len(args))
 		}
 		return nil
 	}
@@ -462,7 +571,7 @@ func (p *parser) instruction(line string) error {
 			if err = need(2); err != nil {
 				return err
 			}
-			if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			if in.Rd, err = p.parseReg(args[0]); err != nil {
 				return err
 			}
 			if in.Imm, err = p.immediate(args[1]); err != nil {
@@ -472,22 +581,20 @@ func (p *parser) instruction(line string) error {
 			if err = need(2); err != nil {
 				return err
 			}
-			if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			if in.Rd, err = p.parseReg(args[0]); err != nil {
 				return err
 			}
-			f, ferr := strconv.ParseFloat(strings.TrimSpace(args[1]), 64)
-			if ferr != nil {
-				return fmt.Errorf("fmovi: %v", ferr)
+			if in.Imm, err = p.floatImm(args[1]); err != nil {
+				return err
 			}
-			in.Imm = int64(math.Float64bits(f))
 		case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI:
 			if err = need(3); err != nil {
 				return err
 			}
-			if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			if in.Rd, err = p.parseReg(args[0]); err != nil {
 				return err
 			}
-			if in.Rs1, err = isa.ParseReg(args[1]); err != nil {
+			if in.Rs1, err = p.parseReg(args[1]); err != nil {
 				return err
 			}
 			if in.Imm, err = p.immediate(args[2]); err != nil {
@@ -497,13 +604,13 @@ func (p *parser) instruction(line string) error {
 			if err = need(3); err != nil {
 				return err
 			}
-			if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+			if in.Rd, err = p.parseReg(args[0]); err != nil {
 				return err
 			}
-			if in.Rs1, err = isa.ParseReg(args[1]); err != nil {
+			if in.Rs1, err = p.parseReg(args[1]); err != nil {
 				return err
 			}
-			if in.Rs2, err = isa.ParseReg(args[2]); err != nil {
+			if in.Rs2, err = p.parseReg(args[2]); err != nil {
 				return err
 			}
 		}
@@ -511,7 +618,7 @@ func (p *parser) instruction(line string) error {
 		if err = need(2); err != nil {
 			return err
 		}
-		if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+		if in.Rd, err = p.parseReg(args[0]); err != nil {
 			return err
 		}
 		if in.Rs1, in.Rs2, in.Scale, in.Imm, err = p.memOperand(args[1]); err != nil {
@@ -524,17 +631,17 @@ func (p *parser) instruction(line string) error {
 		if in.Rs1, in.Rs2, in.Scale, in.Imm, err = p.memOperand(args[0]); err != nil {
 			return err
 		}
-		if in.Rs3, err = isa.ParseReg(args[1]); err != nil {
+		if in.Rs3, err = p.parseReg(args[1]); err != nil {
 			return err
 		}
 	case isa.KindBranch:
 		if err = need(3); err != nil {
 			return err
 		}
-		if in.Rs1, err = isa.ParseReg(args[0]); err != nil {
+		if in.Rs1, err = p.parseReg(args[0]); err != nil {
 			return err
 		}
-		if in.Rs2, err = isa.ParseReg(args[1]); err != nil {
+		if in.Rs2, err = p.parseReg(args[1]); err != nil {
 			return err
 		}
 		t, terr := p.immediate(args[2])
@@ -555,7 +662,7 @@ func (p *parser) instruction(line string) error {
 		if err = need(1); err != nil {
 			return err
 		}
-		if in.Rs1, err = isa.ParseReg(args[0]); err != nil {
+		if in.Rs1, err = p.parseReg(args[0]); err != nil {
 			return err
 		}
 	case isa.KindFlush:
@@ -569,7 +676,7 @@ func (p *parser) instruction(line string) error {
 		if err = need(1); err != nil {
 			return err
 		}
-		if in.Rd, err = isa.ParseReg(args[0]); err != nil {
+		if in.Rd, err = p.parseReg(args[0]); err != nil {
 			return err
 		}
 	case isa.KindRet, isa.KindNop, isa.KindFence, isa.KindHalt:
@@ -577,7 +684,7 @@ func (p *parser) instruction(line string) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("cannot assemble %s", op)
+		return p.lineErr("cannot assemble %s", op)
 	}
 	p.emit(in)
 	return nil

@@ -6,8 +6,6 @@ package asm
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"specrun/internal/isa"
 	"specrun/internal/mem"
@@ -69,24 +67,4 @@ func (p *Program) LoadInto(m *mem.Memory) {
 	for _, s := range p.Segments {
 		m.SetBytes(s.Addr, s.Data)
 	}
-}
-
-// Disassemble renders the program text with addresses and symbol markers.
-func (p *Program) Disassemble() string {
-	byAddr := make(map[uint64][]string)
-	for name, addr := range p.Symbols {
-		byAddr[addr] = append(byAddr[addr], name)
-	}
-	for _, names := range byAddr {
-		sort.Strings(names)
-	}
-	var b strings.Builder
-	for i, in := range p.Insts {
-		pc := p.Base + uint64(i)*isa.InstBytes
-		for _, name := range byAddr[pc] {
-			fmt.Fprintf(&b, "%s:\n", name)
-		}
-		fmt.Fprintf(&b, "  %#08x  %s\n", pc, in)
-	}
-	return b.String()
 }

@@ -17,6 +17,7 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -206,6 +207,67 @@ func RunProgramStats(cfg Config, prog *asm.Program) (cpu.Stats, error) {
 	// machine: the next job truncates and overwrites it.
 	st.EpisodeReaches = append([]uint64(nil), st.EpisodeReaches...)
 	pool.Put(m)
+	if err != nil {
+		return cpu.Stats{}, err
+	}
+	return st, nil
+}
+
+// DefaultProgramBudget is the cycle budget RunProgram-family functions use
+// when the caller does not set one.
+const DefaultProgramBudget = defaultBudget
+
+// progressChunk is the slice size RunProgramStatsCtx simulates between
+// cancellation checks and progress reports: large enough that the slicing
+// is invisible in the run-time profile, small enough that cancellation and
+// progress stay responsive (a slice is a few milliseconds of wall clock).
+const progressChunk = 2_000_000
+
+// RunProgramStatsCtx is RunProgramStats for service jobs: it executes prog
+// on a pooled machine in progressChunk-cycle slices, honouring ctx between
+// slices and reporting simulated cycles to onProgress (which may be nil).
+// budget zero means DefaultProgramBudget.  The result is identical to an
+// uncancelled RunProgramStats run — CPU.Run is resumable, so slicing does
+// not perturb the simulation.
+func RunProgramStatsCtx(ctx context.Context, cfg Config, prog *asm.Program, budget uint64, onProgress func(cycles, budget uint64)) (cpu.Stats, error) {
+	if budget == 0 {
+		budget = DefaultProgramBudget
+	}
+	pool := poolFor(cfg)
+	var m *Machine
+	if pool != nil {
+		m = pool.Get()
+	}
+	if m == nil {
+		machinePools.misses.Add(1)
+		m = NewMachine(cfg, prog)
+	} else {
+		machinePools.hits.Add(1)
+		m.Reset(prog)
+	}
+	var err error
+	for {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		step := progressChunk
+		if done := m.Stats().Cycles; budget-done < uint64(step) {
+			step = int(budget - done)
+		}
+		err = m.Run(uint64(step))
+		done := m.Stats().Cycles
+		if onProgress != nil {
+			onProgress(min(done, budget), budget)
+		}
+		if err == nil || !errors.Is(err, cpu.ErrMaxCycles) || done >= budget {
+			break
+		}
+	}
+	st := *m.Stats()
+	st.EpisodeReaches = append([]uint64(nil), st.EpisodeReaches...)
+	if pool != nil {
+		pool.Put(m)
+	}
 	if err != nil {
 		return cpu.Stats{}, err
 	}

@@ -183,7 +183,7 @@ func Run(ctx context.Context, spec CampaignSpec, opt sweep.Options) (Report, err
 						continue // cancelled while waiting for a slot
 					}
 				}
-				min = &Reproducer{Seed: d.Seed, Options: Shrink(ctx, d.Seed, popt, nc), Config: d.Config}
+				min = NewReproducer(d.Seed, Shrink(ctx, d.Seed, popt, nc), d.Config)
 				if gate != nil {
 					gate.Release()
 				}

@@ -69,11 +69,26 @@ type Divergence struct {
 	Minimized *Reproducer `json:"minimized,omitempty"`
 }
 
-// Reproducer pins a minimized failing input.
+// Reproducer pins a minimized failing input.  Sprog, when present, is the
+// canonical binary encoding (specrun/internal/prog) of the reduced program —
+// a shippable .sprog artifact that re-runs without the generator or seed
+// (JSON carries it base64-encoded).
 type Reproducer struct {
 	Seed    int64           `json:"seed"`
 	Options proggen.Options `json:"options"`
 	Config  string          `json:"config"`
+	Sprog   []byte          `json:"sprog,omitempty"`
+}
+
+// NewReproducer builds a reproducer and attaches its .sprog artifact.  The
+// encoding is best effort: a failure leaves Sprog nil rather than losing
+// the seed/options reproducer the campaign already paid for.
+func NewReproducer(seed int64, opts proggen.Options, config string) *Reproducer {
+	r := &Reproducer{Seed: seed, Options: opts, Config: config}
+	if bin, _, err := proggen.Artifact(seed, opts); err == nil {
+		r.Sprog = bin
+	}
+	return r
 }
 
 // ConfigRunStats summarises one pipeline run for campaign aggregation.

@@ -169,7 +169,7 @@ func minimize(ctx context.Context, rep *Report, popt proggen.Options, cfgs []dif
 			if gate != nil {
 				gate.Release()
 			}
-			min = &difftest.Reproducer{Seed: f.Seed, Options: reduced, Config: f.Config}
+			min = difftest.NewReproducer(f.Seed, reduced, f.Config)
 			shrunkBySeed[f.Seed] = min
 		}
 		f.Minimized = min

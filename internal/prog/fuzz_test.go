@@ -1,0 +1,51 @@
+package prog_test
+
+import (
+	"bytes"
+	"testing"
+
+	"specrun/internal/asm"
+	"specrun/internal/prog"
+	"specrun/internal/proggen"
+)
+
+// FuzzRoundTrip pins the interchange invariants from two directions.  A
+// fuzz input is either treated as candidate binary (Decode must be total
+// and, when it accepts, Encode∘Decode must be byte-identity) or, via the
+// seed corpus of proggen-derived programs, as a canonical encoding whose
+// asm round trip must also be exact.
+func FuzzRoundTrip(f *testing.F) {
+	opt := proggen.DefaultOptions()
+	for seed := int64(0); seed < 8; seed++ {
+		bin, err := prog.Encode(proggen.Generate(seed, opt))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bin)
+	}
+	f.Add([]byte(prog.Magic))
+	f.Fuzz(func(t *testing.T, bin []byte) {
+		p, err := prog.Decode(bin)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		bin2, err := prog.Encode(p)
+		if err != nil {
+			t.Fatalf("decoded program does not re-encode: %v", err)
+		}
+		if !bytes.Equal(bin, bin2) {
+			t.Fatalf("Encode(Decode(bin)) differs from bin")
+		}
+		p2, err := asm.Parse("fuzz", p.Disassemble())
+		if err != nil {
+			t.Fatalf("disassembly does not re-parse: %v\n%s", err, p.Disassemble())
+		}
+		bin3, err := prog.Encode(p2)
+		if err != nil {
+			t.Fatalf("re-parsed program does not encode: %v", err)
+		}
+		if !bytes.Equal(bin, bin3) {
+			t.Fatalf("asm round trip not byte-identical")
+		}
+	})
+}

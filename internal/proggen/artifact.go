@@ -1,0 +1,16 @@
+package proggen
+
+import "specrun/internal/prog"
+
+// Artifact renders a generated program in interchange form: the canonical
+// .sprog binary (internal/prog) and its disassembly.  This is how fuzz/leak
+// reproducers become shippable artifacts — the binary re-runs anywhere
+// (specrun run, POST /v1/run/program) without the generator or its seed.
+func Artifact(seed int64, opt Options) (bin []byte, text string, err error) {
+	p := Generate(seed, opt)
+	bin, err = prog.Encode(p)
+	if err != nil {
+		return nil, "", err
+	}
+	return bin, p.Disassemble(), nil
+}

@@ -56,6 +56,32 @@ type job struct {
 	cancel      context.CancelFunc
 	submitted   time.Time
 	finished    time.Time
+	// watchers receive view snapshots on every progress update; all are
+	// closed when the job leaves JobRunning (the SSE stream's end-of-job
+	// signal).  Sends never block: a slow subscriber misses intermediate
+	// snapshots, not the close.
+	watchers []chan JobView
+}
+
+// notify pushes the current view to every watcher and, on a terminal
+// transition, closes them (caller holds the store lock).
+func (j *job) notify() {
+	if len(j.watchers) == 0 {
+		return
+	}
+	v := j.view()
+	for _, ch := range j.watchers {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+	if j.status != JobRunning {
+		for _, ch := range j.watchers {
+			close(ch)
+		}
+		j.watchers = nil
+	}
 }
 
 // maxJobs bounds the store: once exceeded, the oldest finished jobs (and
@@ -144,7 +170,38 @@ func (s *jobStore) progress(id string, done, total int) {
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok && j.status == JobRunning {
 		j.done, j.total = done, total
+		j.notify()
 	}
+}
+
+// watch subscribes to a job's lifecycle.  The returned channel yields view
+// snapshots on progress and is closed when the job reaches (or was already
+// in) a terminal state; read the final view with get.  The cancel function
+// detaches an abandoned subscription.
+func (s *jobStore) watch(id string) (<-chan JobView, func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	ch := make(chan JobView, 16)
+	if j.status != JobRunning {
+		close(ch) // already terminal: subscribers go straight to the final view
+		return ch, func() {}, true
+	}
+	j.watchers = append(j.watchers, ch)
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, w := range j.watchers {
+			if w == ch {
+				j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+				return
+			}
+		}
+	}
+	return ch, cancel, true
 }
 
 // finish moves a job to its terminal state.  A job already cancelled stays
@@ -168,6 +225,7 @@ func (s *jobStore) finish(id string, result []byte, errText string, cancelled bo
 		if wasRunning {
 			s.terminal(j)
 		}
+		j.notify()
 		return
 	default:
 		j.status = JobDone
@@ -177,6 +235,7 @@ func (s *jobStore) finish(id string, result []byte, errText string, cancelled bo
 	if wasRunning {
 		s.terminal(j)
 	}
+	j.notify()
 }
 
 // cancelJob cancels a running job.  It reports whether the id exists; a job
@@ -194,6 +253,7 @@ func (s *jobStore) cancelJob(id string) (JobView, bool) {
 		j.finished = time.Now()
 		cancel = j.cancel
 		s.terminal(j)
+		j.notify()
 	}
 	v := j.view()
 	s.mu.Unlock()

@@ -18,11 +18,12 @@ import (
 // stats, job stats, the global simulated-cycle counter — is exported via
 // scrape-time callbacks instead of duplicating state.
 type serverMetrics struct {
-	reg       *metrics.Registry
-	httpReqs  *metrics.CounterVec
-	httpDur   *metrics.HistogramVec
-	jobsTotal *metrics.CounterVec
-	gateWait  *metrics.Histogram
+	reg         *metrics.Registry
+	httpReqs    *metrics.CounterVec
+	httpDur     *metrics.HistogramVec
+	jobsTotal   *metrics.CounterVec
+	programSubs *metrics.CounterVec
+	gateWait    *metrics.Histogram
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -38,6 +39,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 		jobsTotal: r.NewCounterVec("specrun_jobs_total",
 			"Async jobs that reached a terminal state, by driver kind and outcome.",
 			"kind", "status"),
+		programSubs: r.NewCounterVec("specrun_program_submissions_total",
+			"Interchange programs submitted (POST /v1/run/program and program jobs), by input format (asm/binary) and outcome (ok/invalid/error).",
+			"format", "outcome"),
 		gateWait: r.NewHistogram("specrun_gate_wait_seconds",
 			"Time simulations spent queued for a worker token (uncontended acquires are not observed).",
 			metrics.DefBuckets),
@@ -53,6 +57,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.GaugeFunc("specrun_jobs_running",
 		"Async jobs currently executing.",
 		func() float64 { return float64(s.jobs.stats().Running) })
+	r.GaugeFunc("specrun_sse_streams_active",
+		"Server-sent-event job streams currently open (GET /v1/jobs/{id}/events).",
+		func() float64 { return float64(s.sseActive.Load()) })
 
 	r.CounterFunc("specrun_cache_hits_total",
 		"Result-cache lookups answered from memory.",
@@ -140,6 +147,15 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 		r.status = http.StatusOK
 	}
 	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports streaming.  The
+// embedded interface does not promote Flusher, and without this the SSE
+// handler's type assertion would fail behind the metrics middleware.
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 // handle mounts fn on mux instrumented with per-route metrics and request

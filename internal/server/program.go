@@ -1,0 +1,267 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"specrun/internal/asm"
+	"specrun/internal/core"
+	"specrun/internal/cpu"
+	"specrun/internal/prog"
+	"specrun/internal/sweep"
+)
+
+// maxProgramCycles bounds the per-request cycle budget a submitted program
+// may ask for.
+const maxProgramCycles = 4 * core.DefaultProgramBudget
+
+// ProgramRequest is the body of POST /v1/run/program (and the program arm
+// of POST /v1/jobs): an arbitrary program in interchange form — assembly
+// text or the canonical .sprog binary (base64 in JSON) — plus an optional
+// partial config overlay and cycle budget.  Exactly one of asm/binary must
+// be set.
+type ProgramRequest struct {
+	Config    json.RawMessage `json:"config,omitempty"`
+	Asm       string          `json:"asm,omitempty"`
+	Binary    []byte          `json:"binary,omitempty"`
+	MaxCycles uint64          `json:"max_cycles,omitempty"` // 0 = core.DefaultProgramBudget
+}
+
+// ProgramResponse is the body of POST /v1/run/program.
+type ProgramResponse struct {
+	Sprog string    `json:"sprog_sha256"` // content address of the canonical binary
+	Insts int       `json:"insts"`
+	Base  uint64    `json:"base"`
+	Stats cpu.Stats `json:"stats"`
+}
+
+// resolvedProgram is a validated submission: the decoded program, its
+// canonical binary (the content address — identical for asm and binary
+// submissions of the same program), the normalized config and the effective
+// budget.
+type resolvedProgram struct {
+	cfg    core.Config
+	prog   *asm.Program
+	bin    []byte
+	budget uint64
+	format string // submission format, for the metrics label: "asm" or "binary"
+}
+
+// resolve validates a submission.  Whatever the input form, the program is
+// funnelled through the canonical binary codec, so validation limits
+// (instruction/data/symbol bounds, canonical instructions) apply uniformly
+// and the cache key depends only on program identity.
+func (r ProgramRequest) resolve() (resolvedProgram, error) {
+	out := resolvedProgram{format: "binary"}
+	if r.Asm != "" {
+		out.format = "asm"
+	}
+	switch {
+	case r.Asm == "" && len(r.Binary) == 0:
+		return out, fmt.Errorf("program: one of asm or binary is required")
+	case r.Asm != "" && len(r.Binary) > 0:
+		return out, fmt.Errorf("program: asm and binary are mutually exclusive")
+	case r.Asm != "":
+		p, err := asm.Parse("request", r.Asm)
+		if err != nil {
+			return out, err
+		}
+		bin, err := prog.Encode(p)
+		if err != nil {
+			return out, err
+		}
+		out.prog, out.bin = p, bin
+	default:
+		p, err := prog.Decode(r.Binary)
+		if err != nil {
+			return out, err
+		}
+		out.prog, out.bin = p, r.Binary
+	}
+	if len(out.prog.Insts) == 0 {
+		return out, fmt.Errorf("program: no instructions")
+	}
+	out.budget = r.MaxCycles
+	if out.budget == 0 {
+		out.budget = core.DefaultProgramBudget
+	}
+	if out.budget > maxProgramCycles {
+		return out, fmt.Errorf("program: max_cycles %d exceeds limit %d", r.MaxCycles, maxProgramCycles)
+	}
+	cfg := core.DefaultConfig()
+	if len(r.Config) > 0 {
+		if err := strictUnmarshal(r.Config, &cfg); err != nil {
+			return out, fmt.Errorf("config: %w", err)
+		}
+	}
+	cfg = core.Normalize(cfg)
+	if err := core.Validate(cfg); err != nil {
+		return out, err
+	}
+	out.cfg = cfg
+	return out, nil
+}
+
+// cacheKey content-addresses the run by the canonical program bytes — not
+// the Go structs and not the submission format — so identical programs
+// submitted as asm and as binary coalesce onto one cache entry.
+func (rp resolvedProgram) cacheKey() (string, error) {
+	return core.HashKey("program", rp.bin, core.Normalize(rp.cfg), rp.budget)
+}
+
+// runProgram executes a resolved submission under the server-wide worker
+// budget; like other single-simulation paths it bypasses the sweep engine
+// and acquires the context gate itself.
+func (s *Server) runProgram(ctx context.Context, rp resolvedProgram, onProgress func(cycles, budget uint64)) (ProgramResponse, error) {
+	if g := sweep.GateFrom(ctx); g != nil {
+		if err := g.Acquire(ctx); err != nil {
+			return ProgramResponse{}, err
+		}
+		defer g.Release()
+	}
+	st, err := core.RunProgramStatsCtx(ctx, rp.cfg, rp.prog, rp.budget, onProgress)
+	if err != nil {
+		return ProgramResponse{}, err
+	}
+	return ProgramResponse{
+		Sprog: prog.Hash(rp.bin),
+		Insts: len(rp.prog.Insts),
+		Base:  rp.prog.Base,
+		Stats: st,
+	}, nil
+}
+
+func (s *Server) handleRunProgram(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.metrics.programSubs.With("unknown", "invalid").Inc()
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rp, err := req.resolve()
+	if err != nil {
+		s.metrics.programSubs.With(rp.format, "invalid").Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := rp.cacheKey()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "cache key: %v", err)
+		return
+	}
+	body, hit, err := s.cache.Do(r.Context(), key, func() ([]byte, error) {
+		s.simulations.Add(1)
+		res, err := s.runProgram(s.simCtx(), rp, nil)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(res)
+	})
+	if err != nil {
+		s.metrics.programSubs.With(rp.format, "error").Inc()
+		writeError(w, http.StatusInternalServerError, "program: %v", err)
+		return
+	}
+	s.metrics.programSubs.With(rp.format, "ok").Inc()
+	writeBody(w, body, hit)
+}
+
+// runProgramJob executes a program submission asynchronously with
+// megacycle-granularity progress (the SSE stream's event source), sharing
+// the result cache with the synchronous endpoint.
+func (s *Server) runProgramJob(ctx context.Context, id string, rp resolvedProgram) {
+	const mega = 1_000_000
+	key, err := rp.cacheKey()
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), false)
+		return
+	}
+	s.jobs.progress(id, 0, int(rp.budget/mega))
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.programSubs.With(rp.format, "ok").Inc()
+		s.jobs.finish(id, body, "", false)
+		return
+	}
+	s.simulations.Add(1)
+	res, err := s.runProgram(sweep.WithGate(ctx, s.gate), rp, func(cycles, budget uint64) {
+		s.jobs.progress(id, int(cycles/mega), int(budget/mega))
+	})
+	if err != nil {
+		s.metrics.programSubs.With(rp.format, "error").Inc()
+		s.jobs.finish(id, nil, err.Error(), errors.Is(err, context.Canceled))
+		return
+	}
+	body, err := Encode(res)
+	if err != nil {
+		s.jobs.finish(id, nil, err.Error(), false)
+		return
+	}
+	s.cache.Add(key, body)
+	s.metrics.programSubs.With(rp.format, "ok").Inc()
+	s.jobs.finish(id, body, "", false)
+}
+
+// handleJobEvents streams a job's lifecycle as Server-Sent Events
+// (GET /v1/jobs/{id}/events): "progress" events carrying the job view while
+// it runs, then exactly one terminal event named after the final status
+// (done / failed / cancelled), then the stream closes.  Event payloads omit
+// the result body — clients fetch GET /v1/jobs/{id}/result once done.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, stop, ok := s.jobs.watch(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	defer stop()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	s.sseActive.Add(1)
+	defer s.sseActive.Add(-1)
+
+	send := func(event string, v JobView) bool {
+		v.Result = nil
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return true
+	}
+
+	// Immediate snapshot, so a subscriber sees state without waiting for
+	// the next progress update.
+	if view, live := s.jobs.get(id); live && view.Status == JobRunning {
+		if !send("progress", view) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case v, open := <-ch:
+			if !open {
+				// Terminal: emit the final view under its status name.
+				if final, live := s.jobs.get(id); live {
+					send(final.Status, final)
+				}
+				return
+			}
+			if v.Status == JobRunning && !send("progress", v) {
+				return
+			}
+		}
+	}
+}

@@ -67,6 +67,7 @@ type Server struct {
 
 	requests    atomic.Uint64 // HTTP requests served
 	simulations atomic.Uint64 // driver/sweep executions actually run (cache misses)
+	sseActive   atomic.Int64  // open SSE event streams (GET /v1/jobs/{id}/events)
 }
 
 // New builds a Server.
@@ -109,12 +110,14 @@ func (s *Server) Handler() http.Handler {
 	s.handle(mux, "GET /v1/config", s.handleConfig)
 	s.handle(mux, "GET /v1/stats", s.handleStats)
 	s.handle(mux, "POST /v1/run/{driver}", s.handleRun)
-	s.handle(mux, "POST /v1/run/fuzz", s.handleFuzz) // literal pattern wins over {driver}
+	s.handle(mux, "POST /v1/run/fuzz", s.handleFuzz)          // literal pattern wins over {driver}
+	s.handle(mux, "POST /v1/run/program", s.handleRunProgram) // ditto
 	s.handle(mux, "POST /v1/sweep", s.handleSweep)
 	s.handle(mux, "POST /v1/jobs", s.handleJobSubmit)
 	s.handle(mux, "GET /v1/jobs", s.handleJobList)
 	s.handle(mux, "GET /v1/jobs/{id}", s.handleJobGet)
 	s.handle(mux, "GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.handle(mux, "GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.handle(mux, "DELETE /v1/jobs/{id}", s.handleJobCancel)
 	if s.opts.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -222,13 +225,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // --- async jobs ---
 
 // JobRequest is the body of POST /v1/jobs: a run driver (Driver +
-// RunRequest fields), a sweep (Sweep spec) or a fuzzing campaign (Fuzz
+// RunRequest fields), a sweep (Sweep spec), a fuzzing campaign (Fuzz
 // spec; driver "fuzz" for the architectural differential oracle, "leaks"
-// for the microarchitectural leak oracle), executed asynchronously.
+// for the microarchitectural leak oracle) or an interchange-format program
+// submission (Program spec), executed asynchronously.
 type JobRequest struct {
-	Driver string       `json:"driver,omitempty"` // run driver name, "sweep", "fuzz" or "leaks"
-	Sweep  *SweepSpec   `json:"sweep,omitempty"`
-	Fuzz   *FuzzRequest `json:"fuzz,omitempty"`
+	Driver  string          `json:"driver,omitempty"` // run driver name, "sweep", "fuzz", "leaks" or "program"
+	Sweep   *SweepSpec      `json:"sweep,omitempty"`
+	Fuzz    *FuzzRequest    `json:"fuzz,omitempty"`
+	Program *ProgramRequest `json:"program,omitempty"`
 	RunRequest
 }
 
@@ -249,6 +254,32 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // startJob validates the request, registers the job and launches its
 // runner goroutine.
 func (s *Server) startJob(req JobRequest) (JobView, error) {
+	if req.Program != nil || req.Driver == "program" {
+		if req.Driver != "" && req.Driver != "program" {
+			return JobView{}, fmt.Errorf("job: driver %q conflicts with program spec", req.Driver)
+		}
+		if req.Sweep != nil || req.Fuzz != nil {
+			return JobView{}, fmt.Errorf("job: program and sweep/fuzz specs conflict")
+		}
+		if req.Program == nil {
+			return JobView{}, fmt.Errorf("job: driver %q requires a program spec", req.Driver)
+		}
+		// Validate before accepting, so a bad program 400s instead of
+		// surfacing as a failed job.
+		rp, err := req.Program.resolve()
+		if err != nil {
+			s.metrics.programSubs.With(rp.format, "invalid").Inc()
+			return JobView{}, err
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		id := s.jobs.create("program", cancel)
+		go func() {
+			defer cancel()
+			s.runProgramJob(ctx, id, rp)
+		}()
+		view, _ := s.jobs.get(id)
+		return view, nil
+	}
 	if req.Fuzz != nil || req.Driver == "fuzz" || req.Driver == "leaks" {
 		if req.Driver != "" && req.Driver != "fuzz" && req.Driver != "leaks" {
 			return JobView{}, fmt.Errorf("job: driver %q conflicts with fuzz spec", req.Driver)
@@ -448,6 +479,10 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 	resp.Drivers = append(resp.Drivers, DriverInfo{
 		Endpoint: "/v1/run/fuzz",
 		Artifact: "differential fuzzing campaign (ISS-vs-pipeline golden-model oracle)",
+	})
+	resp.Drivers = append(resp.Drivers, DriverInfo{
+		Endpoint: "/v1/run/program",
+		Artifact: "interchange-format program run (asm text or canonical .sprog binary)",
 	})
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -70,12 +70,12 @@ func TestConfigEndpoint(t *testing.T) {
 	if resp.Config.ROBSize != 256 || !strings.Contains(resp.Table1, "Table 1") {
 		t.Fatalf("config body: rob=%d table1=%q", resp.Config.ROBSize, resp.Table1[:40])
 	}
-	// Every run driver plus the fuzz campaign endpoint.
-	if len(resp.Drivers) != len(drivers)+1 {
-		t.Fatalf("drivers listed: %d, want %d", len(resp.Drivers), len(drivers)+1)
+	// Every run driver plus the fuzz campaign and program endpoints.
+	if len(resp.Drivers) != len(drivers)+2 {
+		t.Fatalf("drivers listed: %d, want %d", len(resp.Drivers), len(drivers)+2)
 	}
-	if last := resp.Drivers[len(resp.Drivers)-1]; last.Endpoint != "/v1/run/fuzz" {
-		t.Fatalf("last driver endpoint = %q, want /v1/run/fuzz", last.Endpoint)
+	if last := resp.Drivers[len(resp.Drivers)-1]; last.Endpoint != "/v1/run/program" {
+		t.Fatalf("last driver endpoint = %q, want /v1/run/program", last.Endpoint)
 	}
 }
 

@@ -17,9 +17,11 @@
 package specrun
 
 import (
+	"specrun/internal/asm"
 	"specrun/internal/attack"
 	"specrun/internal/core"
 	"specrun/internal/difftest"
+	"specrun/internal/prog"
 	"specrun/internal/runahead"
 	"specrun/internal/server"
 )
@@ -116,6 +118,26 @@ var (
 	HashKey         = core.HashKey
 	EncodeJSON      = server.Encode
 	Version         = server.Version
+)
+
+// Program is an assembled program: instructions, data segments and symbols.
+type Program = asm.Program
+
+// ProgramExt is the canonical interchange-binary file extension.
+const ProgramExt = prog.Ext
+
+// Program interchange (specrun/internal/prog): assembly text and the
+// canonical versioned .sprog binary are two spellings of the same program,
+// and the binary's SHA-256 is its content address — the cache key behind
+// POST /v1/run/program and the identity printed by `specrun asm|run`.
+var (
+	ParseAsm           = asm.Parse        // asm text → *Program
+	EncodeProgram      = prog.Encode      // *Program → canonical .sprog bytes
+	DecodeProgram      = prog.Decode      // .sprog bytes → *Program (strict)
+	AssembleProgram    = prog.Assemble    // asm text → .sprog bytes
+	DisassembleProgram = prog.Disassemble // .sprog bytes → canonical asm text
+	ProgramHash        = prog.Hash        // content address of .sprog bytes
+	RunProgramStats    = core.RunProgramStats
 )
 
 // Differential fuzzing (specrun/internal/difftest): random programs run in
