@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"specrun/internal/proggen"
+	"specrun/internal/workload"
+)
+
+// TestIPCComparisonLaneInvariant pins the batched Fig. 7 driver's contract:
+// the JSON-encoded rows are byte-identical to the serial sweep path at every
+// lane count.
+func TestIPCComparisonLaneInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	serial, err := RunIPCComparisonCtx(context.Background(), cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{1, 4, 16} {
+		rows, err := RunIPCComparisonLanes(context.Background(), cfg, 2, lanes)
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		got, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("lanes=%d: batched Fig. 7 rows diverged from serial:\nbatched: %s\nserial:  %s", lanes, got, want)
+		}
+	}
+}
+
+// TestRunProgramJobsMatchesStats pins the job runner against the pooled
+// single-run path for a mixed-config job list, including an errored lane
+// (budget exhaustion is reported per job, with zero stats, and does not
+// perturb the lanes around it).
+func TestRunProgramJobsMatchesStats(t *testing.T) {
+	k, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []ProgramJob{
+		{Cfg: DefaultConfig(), Prog: k.Build()},
+		{Cfg: BaselineConfig(), Prog: k.Build()},
+		{Cfg: SecureConfig(), Prog: proggen.Generate(7, proggen.DefaultOptions())},
+	}
+	stats, errs, runErr := RunProgramJobsCtx(context.Background(), jobs, 3, 1)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for i, j := range jobs {
+		want, wantErr := RunProgramStats(j.Cfg, j.Prog)
+		if (wantErr == nil) != (errs[i] == nil) {
+			t.Fatalf("job %d: err = %v, want %v", i, errs[i], wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		a, _ := json.Marshal(stats[i])
+		b, _ := json.Marshal(want)
+		if string(a) != string(b) {
+			t.Errorf("job %d stats diverged:\nbatched: %s\nserial:  %s", i, a, b)
+		}
+	}
+}

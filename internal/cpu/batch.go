@@ -1,0 +1,196 @@
+package cpu
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"specrun/internal/asm"
+)
+
+// Batch owns N pooled machines of one configuration and advances them in
+// lockstep: one pass over the live lanes per cycle, with the per-lane hot
+// scalars (cycle limit, result, live index) in struct-of-arrays form.  One
+// RunPrograms call replaces N independent Run loops, amortizing the per-call
+// bookkeeping and keeping the lanes' working sets resident together.
+//
+// Results are bit-identical to running each program on its own machine:
+// machines share nothing, so lane count and tick interleaving are
+// unobservable.  A Batch is not safe for concurrent use; SetParallel shards
+// the lanes across goroutines internally.
+type Batch struct {
+	cfg  Config
+	cpus []*CPU
+
+	// Struct-of-arrays per-lane bookkeeping for the lockstep loop.
+	limit []uint64 // absolute cycle limit per lane
+	errs  []error  // per-lane result of the current RunPrograms call
+	idx   []int    // live-lane scratch (compacted as lanes finish)
+
+	par  int // lane shards advanced concurrently (1 = serial)
+	idxs [][]int
+	wg   sync.WaitGroup
+}
+
+// NewBatch builds a batch of `lanes` machines sharing cfg.  Machines are
+// created lazily on first use of each lane, so a Batch is cheap until run.
+func NewBatch(cfg Config, lanes int) *Batch {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &Batch{
+		cfg:   cfg,
+		cpus:  make([]*CPU, lanes),
+		limit: make([]uint64, lanes),
+		errs:  make([]error, lanes),
+		idx:   make([]int, 0, lanes),
+		par:   1,
+	}
+}
+
+// Lanes reports the batch width.
+func (b *Batch) Lanes() int { return len(b.cpus) }
+
+// CPU returns lane i's machine, or nil if the lane has never run.
+func (b *Batch) CPU(i int) *CPU { return b.cpus[i] }
+
+// SetParallel advances the lanes in n contiguous shards on separate
+// goroutines (clamped to the lane count; n <= 1 keeps the serial loop).
+// Results are unchanged — lanes are independent — but a parallel RunPrograms
+// performs a handful of small allocations per call for the goroutines, where
+// the serial loop performs none.
+func (b *Batch) SetParallel(n int) {
+	if n > len(b.cpus) {
+		n = len(b.cpus)
+	}
+	if n < 1 {
+		n = 1
+	}
+	b.par = n
+}
+
+// RunPrograms runs progs[i] on lane i (at most Lanes programs), each under
+// the given cycle budget, and returns one error per program: nil for a clean
+// HALT, ErrMaxCycles or an ErrDeadlock-wrapping error otherwise, exactly as
+// Run would report.  Machines are Reset-reused across calls; per-lane Stats
+// remain readable via CPU(i) until the next call.  The returned slice is
+// owned by the batch and overwritten by the next RunPrograms.
+func (b *Batch) RunPrograms(progs []*asm.Program, budget uint64) []error {
+	n := len(progs)
+	if n > len(b.cpus) {
+		panic(fmt.Sprintf("cpu: RunPrograms with %d programs on a %d-lane batch", n, len(b.cpus)))
+	}
+	for i, p := range progs {
+		if b.cpus[i] == nil {
+			b.cpus[i] = New(b.cfg, p)
+		} else {
+			b.cpus[i].Reset(p)
+		}
+		b.limit[i] = b.cpus[i].cycle + budget
+		b.errs[i] = nil
+	}
+	if b.par <= 1 || n < 2 {
+		simCycles.Add(lockstep(b.cpus[:n], b.limit, b.errs, b.idx[:0]))
+		return b.errs[:n]
+	}
+
+	// Contiguous lane shards, one goroutine each.  Each shard gets its own
+	// live-list scratch (kept across calls) and writes disjoint errs entries.
+	par := b.par
+	if par > n {
+		par = n
+	}
+	for len(b.idxs) < par {
+		b.idxs = append(b.idxs, make([]int, 0, len(b.cpus)))
+	}
+	var total atomic.Uint64
+	per := (n + par - 1) / par
+	for s := 0; s < par; s++ {
+		lo := s * per
+		hi := lo + per
+		if lo >= n {
+			break
+		}
+		if hi > n {
+			hi = n
+		}
+		b.wg.Add(1)
+		go func(s, lo, hi int) {
+			defer b.wg.Done()
+			total.Add(lockstep(b.cpus[lo:hi], b.limit[lo:hi], b.errs[lo:hi], b.idxs[s][:0]))
+		}(s, lo, hi)
+	}
+	b.wg.Wait()
+	simCycles.Add(total.Load())
+	return b.errs[:n]
+}
+
+// RunLockstep advances the given machines in lockstep, each under the same
+// cycle budget, writing one Run-equivalent result per machine into errs
+// (which must be at least len(ms) long).  Nil machines are skipped with a
+// nil result.  Unlike Batch, the machines may have different configurations
+// and are owned by the caller — campaign drivers use this to tick their
+// per-config cached machines as one group.
+func RunLockstep(ms []*CPU, budget uint64, errs []error) {
+	if len(errs) < len(ms) {
+		panic("cpu: RunLockstep errs shorter than machines")
+	}
+	limit := make([]uint64, len(ms))
+	for i, c := range ms {
+		if c != nil {
+			limit[i] = c.cycle + budget
+		}
+	}
+	simCycles.Add(lockstep(ms, limit, errs[:len(ms)], make([]int, 0, len(ms))))
+}
+
+// lockstep is the shared inner loop: one pass over the live lanes per cycle,
+// retiring lanes into errs as they halt, deadlock or exhaust their budget.
+// Exit conditions and error values mirror run() exactly — after each step the
+// deadlock window is checked first, then HALT, then the cycle limit — so a
+// lockstep lane is indistinguishable from a solo Run.  Returns the total
+// cycles advanced across all lanes (the caller's simCycles contribution).
+func lockstep(ms []*CPU, limit []uint64, errs []error, idx []int) uint64 {
+	var total uint64
+	for i, c := range ms {
+		if c == nil {
+			continue
+		}
+		errs[i] = nil
+		if c.halted {
+			c.stats.Cycles = c.cycle
+			continue
+		}
+		if c.cycle >= limit[i] {
+			c.stats.Cycles = c.cycle
+			errs[i] = ErrMaxCycles
+			continue
+		}
+		idx = append(idx, i)
+	}
+	for len(idx) > 0 {
+		live := idx[:0]
+		for _, i := range idx {
+			c := ms[i]
+			c.step()
+			total++
+			if c.cycle-c.lastProgress > progressWindow {
+				c.stats.Cycles = c.cycle
+				errs[i] = fmt.Errorf("%w at cycle %d (pc %#x, mode %d)", ErrDeadlock, c.cycle, c.fetchPC, c.mode)
+				continue
+			}
+			if c.halted {
+				c.stats.Cycles = c.cycle
+				continue
+			}
+			if c.cycle >= limit[i] {
+				c.stats.Cycles = c.cycle
+				errs[i] = ErrMaxCycles
+				continue
+			}
+			live = append(live, i)
+		}
+		idx = live
+	}
+	return total
+}

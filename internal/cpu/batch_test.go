@@ -1,0 +1,133 @@
+package cpu
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"specrun/internal/asm"
+	"specrun/internal/isa"
+	"specrun/internal/proggen"
+)
+
+// TestBatchMatchesSerialRun pins the batch driver's correctness contract: a
+// program run on a lockstep lane produces byte-identical statistics and
+// committed state to the same program on a solo machine, across lane counts
+// and Reset-reuse rounds.
+func TestBatchMatchesSerialRun(t *testing.T) {
+	const budget = 50_000_000
+	cfg := DefaultConfig()
+	progs := make([]*asm.Program, 4)
+	want := make([]string, len(progs))
+	wantR1 := make([]uint64, len(progs))
+	for i := range progs {
+		progs[i] = proggen.Generate(int64(100+i), proggen.DefaultOptions())
+		c := New(cfg, progs[i])
+		if err := c.Run(budget); err != nil {
+			t.Fatalf("solo run %d: %v", i, err)
+		}
+		b, _ := json.Marshal(c.Stats())
+		want[i] = string(b)
+		wantR1[i] = c.IntReg(1)
+	}
+
+	for _, lanes := range []int{1, 4} {
+		b := NewBatch(cfg, lanes)
+		for round := 0; round < 2; round++ { // round 2 exercises Reset-reuse
+			for lo := 0; lo < len(progs); lo += lanes {
+				hi := min(lo+lanes, len(progs))
+				errs := b.RunPrograms(progs[lo:hi], budget)
+				for j, err := range errs {
+					i := lo + j
+					if err != nil {
+						t.Fatalf("lanes=%d round=%d prog %d: %v", lanes, round, i, err)
+					}
+					got, _ := json.Marshal(b.CPU(j).Stats())
+					if string(got) != want[i] {
+						t.Errorf("lanes=%d round=%d prog %d stats diverged:\nbatch: %s\nsolo:  %s", lanes, round, i, got, want[i])
+					}
+					if r1 := b.CPU(j).IntReg(1); r1 != wantR1[i] {
+						t.Errorf("lanes=%d round=%d prog %d: r1 = %#x, want %#x", lanes, round, i, r1, wantR1[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchParallelMatchesSerial pins SetParallel's invariance: sharding the
+// lanes across goroutines changes nothing observable.
+func TestBatchParallelMatchesSerial(t *testing.T) {
+	const budget = 50_000_000
+	cfg := DefaultConfig()
+	progs := make([]*asm.Program, 4)
+	for i := range progs {
+		progs[i] = proggen.Generate(int64(200+i), proggen.DefaultOptions())
+	}
+	serial := NewBatch(cfg, len(progs))
+	if errs := serial.RunPrograms(progs, budget); errs[0] != nil || errs[3] != nil {
+		t.Fatalf("serial batch errors: %v", errs)
+	}
+	par := NewBatch(cfg, len(progs))
+	par.SetParallel(2)
+	if errs := par.RunPrograms(progs, budget); errs[0] != nil || errs[3] != nil {
+		t.Fatalf("parallel batch errors: %v", errs)
+	}
+	for i := range progs {
+		a, _ := json.Marshal(serial.CPU(i).Stats())
+		b, _ := json.Marshal(par.CPU(i).Stats())
+		if string(a) != string(b) {
+			t.Errorf("prog %d: parallel stats diverged:\nserial:   %s\nparallel: %s", i, a, b)
+		}
+	}
+}
+
+// TestLockstepErrorParity pins the error contract: a lane that deadlocks or
+// exhausts its budget reports exactly what a solo Run would, and terminated
+// lanes do not perturb lanes still running.
+func TestLockstepErrorParity(t *testing.T) {
+	// No HALT: fetch runs off the text and the machine livelocks.
+	db := asm.NewBuilder(0x1000, 0x10000)
+	db.Movi(isa.R(1), 42)
+	dead, err := db.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An endless loop: exhausts any budget without deadlocking.
+	lb := asm.NewBuilder(0x1000, 0x10000)
+	lb.Label("loop")
+	lb.Addi(isa.R(1), isa.R(1), 1)
+	lb.Jmp("loop")
+	spin, err := lb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	halting := proggen.Generate(300, proggen.DefaultOptions())
+
+	cfg := DefaultConfig()
+	const budget = 1_000_000
+	soloErr := func(p *asm.Program) error { return New(cfg, p).Run(budget) }
+	wantDead, wantSpin, wantHalt := soloErr(dead), soloErr(spin), soloErr(halting)
+	if !errors.Is(wantDead, ErrDeadlock) || !errors.Is(wantSpin, ErrMaxCycles) || wantHalt != nil {
+		t.Fatalf("solo error shapes unexpected: %v / %v / %v", wantDead, wantSpin, wantHalt)
+	}
+
+	ms := []*CPU{New(cfg, dead), New(cfg, spin), New(cfg, halting), nil}
+	errs := make([]error, len(ms))
+	RunLockstep(ms, budget, errs)
+	if errs[0] == nil || errs[0].Error() != wantDead.Error() {
+		t.Errorf("deadlock lane: %v, want %v", errs[0], wantDead)
+	}
+	if !errors.Is(errs[1], ErrMaxCycles) {
+		t.Errorf("spin lane: %v, want ErrMaxCycles", errs[1])
+	}
+	if errs[2] != nil {
+		t.Errorf("halting lane: %v, want nil", errs[2])
+	}
+	if errs[3] != nil {
+		t.Errorf("nil lane: %v, want nil", errs[3])
+	}
+	if got, want := ms[1].Stats().Cycles, ms[1].Cycle(); got != want || got < budget {
+		t.Errorf("spin lane Stats.Cycles = %d, want %d", got, want)
+	}
+}

@@ -139,16 +139,17 @@ func (c *CPU) removeFromLSQ(u *uop) {
 
 // retire commits one uop architecturally (normal mode).
 func (c *CPU) retire(u *uop, now uint64) {
-	op := u.inst.Op
+	pd := u.pd
+	op := pd.Op
 	c.stats.Committed++
 
 	if u.dest != isa.NoReg {
 		c.arch.write(u.dest, u.result, u.result2, false, 0)
 	}
 
-	switch op.Kind() {
+	switch pd.Kind {
 	case isa.KindStore, isa.KindCall, isa.KindCallR:
-		size := op.MemSize()
+		size := int(pd.MemSize)
 		c.memImg.Write(u.addr, min(size, 8), u.storeVal)
 		if size == 16 {
 			c.memImg.WriteU64(u.addr+8, u.storeVal2)
@@ -176,10 +177,10 @@ func (c *CPU) retire(u *uop, now uint64) {
 	case isa.KindHalt:
 		c.halted = true
 	}
-	switch op.Kind() {
+	switch pd.Kind {
 	case isa.KindCall, isa.KindCallR:
 		c.bp.CommitCall(u.pc + isa.InstBytes)
-		if op.Kind() == isa.KindCallR {
+		if pd.Kind == isa.KindCallR {
 			c.bp.TrainBTB(u.pc, u.actualTarget)
 		}
 	case isa.KindRet:
@@ -188,7 +189,7 @@ func (c *CPU) retire(u *uop, now uint64) {
 
 	// Learning structures for the precise and vector runahead variants.
 	c.rdt.ObserveCommit(u.pc, u.inst)
-	if op.Kind() == isa.KindLoad && u.addrValid {
+	if pd.Kind == isa.KindLoad && u.addrValid {
 		c.strides.Observe(u.pc, u.addr)
 	}
 
@@ -208,7 +209,7 @@ func (c *CPU) retire(u *uop, now uint64) {
 // cache; valid branches train the predictor as in normal mode, while
 // INV-source branches stay unresolved — the SPECRUN window.
 func (c *CPU) pseudoRetire(u *uop, now uint64) {
-	op := u.inst.Op
+	pd := u.pd
 	c.stats.PseudoRetired++
 
 	sec := c.cfg.Secure.Enabled
@@ -220,7 +221,7 @@ func (c *CPU) pseudoRetire(u *uop, now uint64) {
 		c.arch.write(u.dest, u.result, u.result2, u.resINV, 0)
 	}
 
-	switch op.Kind() {
+	switch pd.Kind {
 	case isa.KindALU, isa.KindRDTSC:
 		if sec && u.dest != isa.NoReg {
 			c.propagateTaint(u)
@@ -237,7 +238,7 @@ func (c *CPU) pseudoRetire(u *uop, now uint64) {
 		}
 	case isa.KindStore, isa.KindCall, isa.KindCallR:
 		if u.addrValid {
-			size := op.MemSize()
+			size := int(pd.MemSize)
 			c.raCache.Write(u.addr, min(size, 8), u.storeVal, u.storeINV)
 			if size == 16 {
 				c.raCache.Write(u.addr+8, 8, u.storeVal2, u.storeINV)

@@ -26,6 +26,7 @@ import (
 
 	"specrun/internal/asm"
 	"specrun/internal/branch"
+	"specrun/internal/isa"
 	"specrun/internal/mem"
 	"specrun/internal/runahead"
 	"specrun/internal/secure"
@@ -236,6 +237,13 @@ type CPU struct {
 	lastFetchLine   uint64
 	frontQ          *uopRing
 
+	// Per-PC predecode cache: one uop template per static instruction,
+	// filled lazily the first time a PC is fetched (pd[i].Op == isa.BAD
+	// marks an unfilled slot; BAD never assembles).  Every dynamic instance
+	// shares the template, so fetch/dispatch read flat fields instead of
+	// re-deriving kind/FU/operand metadata per fetch.
+	pd []isa.Predecoded
+
 	// Back end.  The event-driven scheduler (sched.go, the default) selects
 	// from the age-ordered ready/replay queues and tracks IQ/LQ occupancy as
 	// counters; the polling reference (sched_poll.go) keeps the iq/lq/sq
@@ -269,8 +277,12 @@ type CPU struct {
 	// Rename resources in use.
 	intPRFUsed, fpPRFUsed, vecPRFUsed int
 
-	// Per-cycle FU accounting.
+	// Per-cycle FU accounting.  fuUsed counts are valid only for the cycle
+	// stamped in fuStamp; consumeFU batch-clears them on the first claim of
+	// a new cycle, so the issue phase no longer zeroes the array every cycle
+	// (most cycles issue nothing from several FU classes).
 	fuUsed   [8]int // indexed by isa.FU for pipelined units
+	fuStamp  uint64 // cycle the fuUsed counts belong to
 	divBusy  []uint64
 	fdivBusy []uint64
 
@@ -324,6 +336,7 @@ func New(cfg Config, prog *asm.Program) *CPU {
 		sqLineIdx:    make(map[uint64]*sqNode, 2*cfg.SQSize),
 		divBusy:      make([]uint64, cfg.IntDiv),
 		fdivBusy:     make([]uint64, cfg.FPDiv),
+		pd:           make([]isa.Predecoded, len(prog.Insts)),
 	}
 	// Seed the uop pool from one slab: enough for a full window plus the
 	// fetch buffer and one squash generation in flight.  The pool still
@@ -400,8 +413,18 @@ func (c *CPU) Reset(prog *asm.Program) {
 	c.fetchBlocked = false
 	c.lastFetchLine = 0
 
+	if cap(c.pd) >= len(prog.Insts) {
+		c.pd = c.pd[:len(prog.Insts)]
+		clear(c.pd)
+	} else {
+		c.pd = make([]isa.Predecoded, len(prog.Insts))
+	}
+
 	c.intPRFUsed, c.fpPRFUsed, c.vecPRFUsed = 0, 0, 0
 	c.fuUsed = [8]int{}
+	// The cycle counter rewinds to 0; park the stamp on a cycle no run can
+	// reach so stale counts never alias a fresh cycle's.
+	c.fuStamp = ^uint64(0)
 	for i := range c.divBusy {
 		c.divBusy[i] = 0
 	}

@@ -18,8 +18,8 @@ func (c *CPU) dispatchPhase(now uint64) {
 		if c.rob.full() {
 			return
 		}
-		op := u.inst.Op
-		k := op.Kind()
+		pd := u.pd
+		k := pd.Kind
 
 		// FENCE serialises: it dispatches only into an empty ROB.  During
 		// runahead mode a fence is a speculation barrier instead: the
@@ -40,7 +40,7 @@ func (c *CPU) dispatchPhase(now uint64) {
 		// Precise runahead: non-slice compute is dropped at dispatch and its
 		// destination poisoned; loads, stores and control always execute.
 		if c.mode == ModeRunahead && c.cfg.Runahead.Kind == runahead.KindPrecise &&
-			k == isa.KindALU && !op.IsSerializing() && !c.rdt.InSlice(u.pc) {
+			k == isa.KindALU && !pd.Serializing && !c.rdt.InSlice(u.pc) {
 			c.frontQ.popFront()
 			c.dropPRE(u, now)
 			continue
@@ -140,11 +140,11 @@ func (c *CPU) sqLen() int {
 // polling for it.  It then claims the destination mapping and, for control
 // instructions, snapshots the RAT for recovery.
 func (c *CPU) rename(u *uop) {
-	var srcbuf [4]isa.Reg
-	srcs := u.inst.SrcRegs(srcbuf[:0])
-	u.nsrc = len(srcs)
-	isStoreKind := u.inst.Op.Kind() == isa.KindStore
-	for i, r := range srcs {
+	pd := u.pd
+	u.nsrc = int(pd.NSrc)
+	isStoreKind := pd.Kind == isa.KindStore
+	for i := 0; i < u.nsrc; i++ {
+		r := pd.Srcs[i]
 		o := &u.srcs[i]
 		o.reg = r
 		if p := c.rat.lookup(r); p != nil {
@@ -168,7 +168,7 @@ func (c *CPU) rename(u *uop) {
 		o.val, o.val2, o.inv, o.taint = c.arch.read(r)
 		o.ready = true
 	}
-	u.dest = u.inst.Dest()
+	u.dest = pd.Dest
 	if u.dest != isa.NoReg && !u.dest.IsZero() {
 		c.rat.set(u.dest, u)
 	}
@@ -181,7 +181,7 @@ func (c *CPU) rename(u *uop) {
 // ROB slot (for pseudo-retirement ordering) but consumes no issue queue,
 // functional unit or physical register; its destination is poisoned.
 func (c *CPU) dropPRE(u *uop, now uint64) {
-	u.dest = u.inst.Dest()
+	u.dest = u.pd.Dest
 	if u.dest != isa.NoReg && !u.dest.IsZero() {
 		c.rat.set(u.dest, u)
 	}
@@ -207,9 +207,9 @@ func (c *CPU) dropPRE(u *uop, now uint64) {
 // the Table 1 rename resources (80 int / 40 fp / 40 xmm; the architectural
 // registers are subtracted as permanently allocated).
 func (c *CPU) claimPRF(u *uop) bool {
-	switch u.inst.Dest().Class() {
+	switch u.pd.DestClass {
 	case isa.ClassInt:
-		if u.inst.Dest().IsZero() {
+		if u.pd.Dest.IsZero() {
 			return true
 		}
 		if c.intPRFUsed >= c.cfg.IntPRF-isa.NumIntRegs {
@@ -238,7 +238,7 @@ func (c *CPU) releasePRF(u *uop) {
 		return
 	}
 	u.prfClaimed = false
-	switch u.inst.Dest().Class() {
+	switch u.pd.DestClass {
 	case isa.ClassInt:
 		c.intPRFUsed--
 	case isa.ClassFP:

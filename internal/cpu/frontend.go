@@ -46,7 +46,7 @@ func (c *CPU) fetchPhase(now uint64) {
 		if c.traceFn != nil {
 			c.traceEmit(TraceFetch, u)
 		}
-		if in.Op.Kind() == isa.KindHalt {
+		if u.pd.Kind == isa.KindHalt {
 			// Nothing architectural follows a HALT; stop fetching until a
 			// squash or redirect proves this path wrong.
 			c.fetchBlocked = true
@@ -64,6 +64,7 @@ func (c *CPU) newUOp(in isa.Inst, now uint64) *uop {
 	u.seq = c.seq
 	u.pc = c.fetchPC
 	u.inst = in
+	u.pd = c.predecoded(c.fetchPC, in)
 	u.fetchedAt = now
 	u.dispatchable = now + uint64(c.cfg.FrontEndDepth-1)
 	if c.mode == ModeRunahead {
@@ -72,12 +73,23 @@ func (c *CPU) newUOp(in isa.Inst, now uint64) *uop {
 	return u
 }
 
+// predecoded returns the uop template for the instruction at pc, filling the
+// per-PC cache slot on first fetch.  The caller has already resolved in via
+// prog.InstAt(pc), so the index is in range.
+func (c *CPU) predecoded(pc uint64, in isa.Inst) *isa.Predecoded {
+	p := &c.pd[(pc-c.prog.Base)/isa.InstBytes]
+	if p.Op == isa.BAD {
+		*p = isa.Predecode(in)
+	}
+	return p
+}
+
 // predict chooses the next fetch PC for u and records the prediction state
 // needed for training and recovery.  It reports whether fetch was redirected
 // away from the sequential path.
 func (c *CPU) predict(u *uop) bool {
 	next := u.pc + isa.InstBytes
-	switch u.inst.Op.Kind() {
+	switch u.pd.Kind {
 	case isa.KindBranch:
 		taken, idx := c.bp.PredictCond(u.pc)
 		u.phtIdx = idx

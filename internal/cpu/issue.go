@@ -41,18 +41,28 @@ func (c *CPU) srcsReadyTo(u *uop, n int) bool {
 	return ready
 }
 
+// fuUsedNow reads a pipelined unit's claim count for this cycle.  Counts
+// stamped with an earlier cycle are stale leftovers consumeFU has not yet
+// batch-cleared; they read as zero.
+func (c *CPU) fuUsedNow(fu isa.FU, now uint64) int {
+	if c.fuStamp != now {
+		return 0
+	}
+	return c.fuUsed[fu]
+}
+
 func (c *CPU) fuAvailable(fu isa.FU, now uint64) bool {
 	switch fu {
 	case isa.FUIntALU:
-		return c.fuUsed[fu] < c.cfg.IntALU
+		return c.fuUsedNow(fu, now) < c.cfg.IntALU
 	case isa.FUIntMul:
-		return c.fuUsed[fu] < c.cfg.IntMul
+		return c.fuUsedNow(fu, now) < c.cfg.IntMul
 	case isa.FUFPAdd:
-		return c.fuUsed[fu] < c.cfg.FPAdd
+		return c.fuUsedNow(fu, now) < c.cfg.FPAdd
 	case isa.FUFPMul:
-		return c.fuUsed[fu] < c.cfg.FPMul
+		return c.fuUsedNow(fu, now) < c.cfg.FPMul
 	case isa.FUMem:
-		return c.fuUsed[fu] < c.cfg.MemPorts
+		return c.fuUsedNow(fu, now) < c.cfg.MemPorts
 	case isa.FUIntDiv:
 		return anyFree(c.divBusy, now)
 	case isa.FUFPDiv:
@@ -79,13 +89,19 @@ func claimUnit(busy []uint64, now, until uint64) {
 	}
 }
 
-func (c *CPU) consumeFU(fu isa.FU, now uint64, op isa.Opcode) {
+func (c *CPU) consumeFU(fu isa.FU, now, lat uint64) {
 	switch fu {
 	case isa.FUIntDiv:
-		claimUnit(c.divBusy, now, now+uint64(op.Latency())) // unpipelined
+		claimUnit(c.divBusy, now, now+lat) // unpipelined
 	case isa.FUFPDiv:
-		claimUnit(c.fdivBusy, now, now+uint64(op.Latency()))
+		claimUnit(c.fdivBusy, now, now+lat)
 	default:
+		if c.fuStamp != now {
+			// First pipelined claim of the cycle: retire the stale counts in
+			// one batch instead of zeroing the array every cycle.
+			c.fuUsed = [8]int{}
+			c.fuStamp = now
+		}
 		c.fuUsed[fu]++
 	}
 }
@@ -106,12 +122,13 @@ func (u *uop) anySrcINV() bool { return u.srcINVTo(u.nsrc) }
 // or an SL-cache gate awaiting branch resolution); the caller retries on a
 // later cycle.  No state is modified on a false return.
 func (c *CPU) execute(u *uop, now uint64) bool {
-	op := u.inst.Op
-	lat := uint64(op.Latency())
-	switch op.Kind() {
+	pd := u.pd
+	op := pd.Op
+	lat := uint64(pd.Lat)
+	switch pd.Kind {
 	case isa.KindALU:
 		s0, s1 := u.srcs[0], u.srcs[1]
-		switch op.DestClass() {
+		switch pd.DestClass {
 		case isa.ClassInt:
 			u.result = isa.EvalALU(op, s0.val, s1.val, u.inst.Imm)
 		case isa.ClassFP:
@@ -188,7 +205,7 @@ func (c *CPU) execute(u *uop, now uint64) bool {
 
 	case isa.KindStore:
 		base, idx := u.srcs[0], operand{}
-		if u.inst.UsesIndex() {
+		if pd.UsesIndex {
 			idx = u.srcs[1]
 		}
 		if base.inv || idx.inv {
@@ -250,9 +267,9 @@ func (c *CPU) markUnresolved(u *uop, now uint64) {
 // ordering and forwarding, the runahead cache, the SL cache (Algorithm 1)
 // and finally the timing hierarchy plus functional memory.
 func (c *CPU) execLoad(u *uop, now uint64) bool {
-	op := u.inst.Op
-	isRet := op.Kind() == isa.KindRet
-	size := op.MemSize()
+	pd := u.pd
+	isRet := pd.Kind == isa.KindRet
+	size := int(pd.MemSize)
 
 	// Effective address.
 	if isRet {
@@ -266,7 +283,7 @@ func (c *CPU) execLoad(u *uop, now uint64) bool {
 		u.result = sp + 8 // SP update is valid even if the pop stalls
 	} else {
 		base, idx := u.srcs[0], operand{}
-		if u.inst.UsesIndex() {
+		if pd.UsesIndex {
 			idx = u.srcs[1]
 		}
 		if base.inv || idx.inv {
@@ -434,7 +451,7 @@ func (c *CPU) loadValue(u *uop, size int, now uint64, _ int) {
 	if size == 16 {
 		u.result2 = c.memImg.ReadU64(u.addr + 8)
 	}
-	if u.inst.Op.Kind() == isa.KindRet {
+	if u.pd.Kind == isa.KindRet {
 		c.finishRetTarget(u, v, false, now)
 		return
 	}

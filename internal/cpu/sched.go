@@ -47,11 +47,10 @@ func (c *CPU) issuePhase(now uint64) {
 		c.issuePhasePoll(now)
 		return
 	}
-	for i := range c.fuUsed {
-		c.fuUsed[i] = 0
-	}
 	// Re-wake last cycle's replayed uops: merge them (age-ordered) back into
-	// the ready queue before selecting.
+	// the ready queue before selecting.  (The per-cycle FU counts need no
+	// clearing here: consumeFU batch-resets them on the first claim of each
+	// cycle, keyed by fuStamp.)
 	if len(c.replay) > 0 {
 		c.mergeReplay()
 	}
@@ -67,8 +66,8 @@ func (c *CPU) issuePhase(now uint64) {
 			out = append(out, u)
 			continue
 		}
-		op := u.inst.Op
-		if op.IsSerializing() && c.rob.front() != u {
+		pd := u.pd
+		if pd.Serializing && c.rob.front() != u {
 			// RDTSC/FENCE execute at the ROB head only.
 			u.replayWhy = ReplayROBHead
 			c.replay = append(c.replay, u)
@@ -77,7 +76,7 @@ func (c *CPU) issuePhase(now uint64) {
 			}
 			continue
 		}
-		fu := op.FU()
+		fu := pd.FU
 		if !c.fuAvailable(fu, now) {
 			out = append(out, u) // lost select arbitration; compete again next cycle
 			continue
@@ -91,7 +90,7 @@ func (c *CPU) issuePhase(now uint64) {
 			}
 			continue
 		}
-		c.consumeFU(fu, now, op)
+		c.consumeFU(fu, now, uint64(pd.Lat))
 		u.stage = stIssued
 		u.inReady = false
 		if u.inIQ {
@@ -247,7 +246,7 @@ func (c *CPU) wakeWaiters(p *uop, now uint64) {
 			o.val, o.val2, o.inv = p.result, p.result2, p.resINV
 			o.producer = nil
 			o.ready = true
-			if cu.inst.Op.Kind() == isa.KindStore && int(w.src) == cu.nsrc-1 {
+			if cu.pd.Kind == isa.KindStore && int(w.src) == cu.nsrc-1 {
 				// STD half of a split store: if the STA half already issued,
 				// the store completes one cycle after the datum arrives.
 				if cu.dataPending {
@@ -302,7 +301,7 @@ func insertBySeq(s []*uop, u *uop) []*uop {
 // valid addresses: commit, squash and Reset unlink eagerly, so loads never
 // validate entries.
 func (c *CPU) sqLink(u *uop) {
-	size := u.inst.Op.MemSize()
+	size := u.pd.MemSize
 	l0 := c.hier.LineAddr(u.addr)
 	l1 := c.hier.LineAddr(u.addr + uint64(size) - 1)
 	u.sqNodes[0].line = l0
@@ -398,7 +397,7 @@ func (c *CPU) scanSQ(u *uop, size int) (fwd *uop, blocked bool) {
 			if st.seq >= u.seq {
 				continue // younger store: no ordering constraint
 			}
-			stSize := st.inst.Op.MemSize()
+			stSize := st.pd.MemSize
 			if st.addr+uint64(stSize) <= u.addr || u.addr+uint64(size) <= st.addr {
 				continue // same line, disjoint bytes
 			}

@@ -37,9 +37,6 @@ func (c *CPU) SetPollingReference(on bool) {
 // issuePhasePoll selects up to IssueWidth ready uops, oldest first, by
 // rescanning the entire issue queue and polling every source operand.
 func (c *CPU) issuePhasePoll(now uint64) {
-	for i := range c.fuUsed {
-		c.fuUsed[i] = 0
-	}
 	c.iq = dropSquashed(c.iq)
 	c.lq = dropSquashed(c.lq)
 	c.sq = dropSquashed(c.sq)
@@ -53,17 +50,17 @@ func (c *CPU) issuePhasePoll(now uint64) {
 		// store-address/store-data µops, as in real cores): younger loads
 		// can then disambiguate against them instead of serialising behind
 		// the store's data dependence.
-		if u.inst.Op.Kind() == isa.KindStore {
+		if u.pd.Kind == isa.KindStore {
 			if !c.srcsReadyTo(u, u.nsrc-1) {
 				continue
 			}
 		} else if !c.srcsReady(u) {
 			continue
 		}
-		if u.inst.Op.IsSerializing() && c.rob.front() != u {
+		if u.pd.Serializing && c.rob.front() != u {
 			continue // RDTSC/FENCE execute at the ROB head only
 		}
-		fu := u.inst.Op.FU()
+		fu := u.pd.FU
 		if !c.fuAvailable(fu, now) {
 			continue
 		}
@@ -77,7 +74,7 @@ func (c *CPU) issuePhasePoll(now uint64) {
 			}
 			continue
 		}
-		c.consumeFU(fu, now, u.inst.Op)
+		c.consumeFU(fu, now, uint64(u.pd.Lat))
 		u.stage = stIssued
 		c.inflight = append(c.inflight, u)
 		c.iq = append(c.iq[:idx], c.iq[idx+1:]...)
@@ -147,7 +144,7 @@ func (c *CPU) scanSQPoll(u *uop, size int) (fwd *uop, blocked bool) {
 			}
 			return nil, true // address unknown: conservative stall
 		}
-		stSize := st.inst.Op.MemSize()
+		stSize := st.pd.MemSize
 		if st.addr+uint64(stSize) <= u.addr || u.addr+uint64(size) <= st.addr {
 			continue // no overlap
 		}

@@ -27,6 +27,7 @@ type uop struct {
 	seq  uint64
 	pc   uint64
 	inst isa.Inst
+	pd   *isa.Predecoded // uop template, points into the CPU's per-PC cache
 
 	// Front end.
 	fetchedAt    uint64
@@ -158,9 +159,9 @@ type sqNode struct {
 	prev, next *sqNode
 }
 
-func (u *uop) isLoad() bool  { return u.inst.Op.IsLoad() }
-func (u *uop) isStore() bool { return u.inst.Op.IsStore() }
-func (u *uop) isCtl() bool   { return u.inst.Op.IsControl() }
+func (u *uop) isLoad() bool  { return u.pd.Load }
+func (u *uop) isStore() bool { return u.pd.Store }
+func (u *uop) isCtl() bool   { return u.pd.Control }
 
 // operand is one renamed source.
 type operand struct {

@@ -21,7 +21,7 @@ func sortBySeq(s []*uop) {
 }
 
 func (c *CPU) mispredicted(u *uop) bool {
-	if u.inst.Op.IsCondBranch() {
+	if u.pd.CondBranch {
 		return u.actualTaken != u.predTaken
 	}
 	return u.actualTarget != u.predTarget
@@ -39,7 +39,7 @@ func (c *CPU) recover(u *uop, now uint64) {
 	}
 	if u.hasBPCP {
 		c.bp.Restore(u.bpCP)
-		if u.inst.Op.IsCondBranch() {
+		if u.pd.CondBranch {
 			c.bp.FixLast(u.actualTaken)
 		}
 	}

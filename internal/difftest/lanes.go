@@ -1,0 +1,85 @@
+package difftest
+
+import (
+	"specrun/internal/cpu"
+	"specrun/internal/proggen"
+)
+
+// CheckSeedLanes is CheckSeed with the seed's configuration runs advanced in
+// lockstep lane groups by the batch driver instead of one Run call each: the
+// reference interpreter executes once, then up to `lanes` pipeline machines
+// tick together per group.  The result is byte-identical to CheckSeed at any
+// lane count — machines share nothing, divergences and per-config stats keep
+// configuration order — so campaigns can raise lanes freely.
+func CheckSeedLanes(seed int64, opt proggen.Options, cfgs []NamedConfig, lanes int) SeedResult {
+	if lanes <= 1 {
+		return CheckSeed(seed, opt, cfgs)
+	}
+	if lanes > RunnerCacheCap {
+		lanes = RunnerCacheCap // a group must never evict its own machines
+	}
+	rc := runnerCaches.Get()
+	defer runnerCaches.Put(rc)
+	prog := proggen.Generate(seed, opt)
+	res := SeedResult{Seed: seed}
+	issRecs, ref, err := rc.refStream(prog)
+	if err != nil {
+		res.Divergences = append(res.Divergences, Divergence{
+			Seed: seed, Config: "iss", Kind: KindRunError, Detail: err.Error(),
+		})
+		return res
+	}
+	for len(rc.laneRecs) < lanes {
+		rc.laneRecs = append(rc.laneRecs, make([]record, 0, 4096))
+	}
+	for lo := 0; lo < len(cfgs); lo += lanes {
+		group := cfgs[lo:min(lo+lanes, len(cfgs))]
+		ms := rc.laneMs[:0]
+		for gi, nc := range group {
+			c := rc.entryFor(nc, prog).c
+			buf := &rc.laneRecs[gi]
+			*buf = (*buf)[:0]
+			c.SetCommitHook(func(r cpu.CommitRecord) {
+				*buf = append(*buf, record{pc: r.PC, op: r.Op.Name(), dest: destString(r.Dest), v: r.Val, v2: r.Val2})
+			})
+			ms = append(ms, c)
+		}
+		errs := rc.laneErrs[:0]
+		for range group {
+			errs = append(errs, nil)
+		}
+		cpu.RunLockstep(ms, cpuBudget, errs)
+		rc.laneMs, rc.laneErrs = ms[:0], errs[:0]
+		for gi, nc := range group {
+			c := ms[gi]
+			c.SetCommitHook(nil)
+			recs := rc.laneRecs[gi]
+			diverge := func(kind, detail string) {
+				res.Divergences = append(res.Divergences, Divergence{
+					Seed: seed, Config: nc.Name, Kind: kind, Detail: detail,
+				})
+			}
+			if errs[gi] != nil {
+				diverge(KindRunError, errs[gi].Error())
+				continue
+			}
+			st := c.Stats()
+			res.PerConfig = append(res.PerConfig, ConfigRunStats{
+				Name: nc.Name, Episodes: st.RunaheadEpisodes, Committed: st.Committed, Cycles: st.Cycles,
+			})
+			if d := diffStreams(issRecs, recs); d != "" {
+				diverge(KindCommitStream, d)
+			}
+			if d := diffArch(ref, c); d != "" {
+				diverge(KindFinalState, d)
+			}
+			if d := diffMemory(prog, opt, ref, c); d != "" {
+				diverge(KindFinalMem, d)
+			}
+			if d := cacheInvariants(nc.Config, c); d != "" {
+				diverge(KindCacheStats, d)
+			}
+		}
+	}
+	return res
+}

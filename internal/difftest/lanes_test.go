@@ -1,0 +1,56 @@
+package difftest
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"specrun/internal/proggen"
+	"specrun/internal/sweep"
+)
+
+// TestCheckSeedLaneInvariant pins the lockstep seed checker's contract: the
+// per-seed result is identical to the serial checker at every lane count,
+// including widths that don't divide the quick matrix evenly.
+func TestCheckSeedLaneInvariant(t *testing.T) {
+	cfgs := Matrix(false)
+	opt := proggen.DefaultOptions()
+	for seed := int64(1); seed <= 3; seed++ {
+		want := CheckSeed(seed, opt, cfgs)
+		for _, lanes := range []int{1, 3, 4, 16} {
+			got := CheckSeedLanes(seed, opt, cfgs, lanes)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d lanes=%d: result diverged from serial:\nbatched: %+v\nserial:  %+v", seed, lanes, got, want)
+			}
+		}
+	}
+}
+
+// TestCampaignLaneInvariant pins the campaign-level invariant: the report —
+// the wire document POST /v1/run/fuzz caches by content — is byte-identical
+// across lane counts and against the serial path.
+func TestCampaignLaneInvariant(t *testing.T) {
+	spec := CampaignSpec{Seeds: 4, Matrix: "quick", NoShrink: true}
+	serial, err := Run(context.Background(), spec, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{4, 16} {
+		rep, err := RunLanes(context.Background(), spec, sweep.Options{Workers: 2}, lanes)
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		got, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("lanes=%d: campaign report diverged from serial:\nbatched: %s\nserial:  %s", lanes, got, want)
+		}
+	}
+}

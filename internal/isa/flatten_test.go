@@ -1,0 +1,120 @@
+package isa
+
+import "testing"
+
+// The switch chains below are the pre-flattening predicate definitions, kept
+// verbatim as the oracle for the opFlags lookup table that replaced them on
+// the hot path.  Iterating the full uint8 domain (not just defined opcodes)
+// also pins the table's out-of-range behaviour: everything reads false.
+
+func oracleIsLoad(o Opcode) bool {
+	k := o.Kind()
+	return k == KindLoad || k == KindRet
+}
+
+func oracleIsStore(o Opcode) bool {
+	k := o.Kind()
+	return k == KindStore || k == KindCall || k == KindCallR
+}
+
+func oracleIsMemRef(o Opcode) bool {
+	return oracleIsLoad(o) || oracleIsStore(o) || o.Kind() == KindFlush
+}
+
+func oracleIsCondBranch(o Opcode) bool { return o.Kind() == KindBranch }
+
+func oracleIsControl(o Opcode) bool {
+	switch o.Kind() {
+	case KindBranch, KindJump, KindJumpR, KindCall, KindCallR, KindRet:
+		return true
+	}
+	return false
+}
+
+func oracleIsSerializing(o Opcode) bool {
+	k := o.Kind()
+	return k == KindRDTSC || k == KindFence
+}
+
+func TestOpFlagsMatchSwitchOracle(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		o := Opcode(i)
+		if got, want := o.IsLoad(), oracleIsLoad(o); got != want {
+			t.Errorf("%s (%d): IsLoad() = %v, want %v", o, i, got, want)
+		}
+		if got, want := o.IsStore(), oracleIsStore(o); got != want {
+			t.Errorf("%s (%d): IsStore() = %v, want %v", o, i, got, want)
+		}
+		if got, want := o.IsMemRef(), oracleIsMemRef(o); got != want {
+			t.Errorf("%s (%d): IsMemRef() = %v, want %v", o, i, got, want)
+		}
+		if got, want := o.IsCondBranch(), oracleIsCondBranch(o); got != want {
+			t.Errorf("%s (%d): IsCondBranch() = %v, want %v", o, i, got, want)
+		}
+		if got, want := o.IsControl(), oracleIsControl(o); got != want {
+			t.Errorf("%s (%d): IsControl() = %v, want %v", o, i, got, want)
+		}
+		if got, want := o.IsSerializing(), oracleIsSerializing(o); got != want {
+			t.Errorf("%s (%d): IsSerializing() = %v, want %v", o, i, got, want)
+		}
+	}
+}
+
+// TestPredecodeMatchesInstDerivation pins the Predecoded template against the
+// Inst/Opcode methods it caches, across every opcode with representative
+// operand shapes (plain and indexed addressing for memory ops).
+func TestPredecodeMatchesInstDerivation(t *testing.T) {
+	variants := func(op Opcode) []Inst {
+		base := Inst{Op: op, Rd: R(1), Rs1: R(2), Rs2: R(3), Rs3: R(4), Imm: 8, Target: 0x2000, Scale: 1}
+		switch op {
+		case FLD:
+			base.Rd = F(1)
+		case FADD, FSUB, FMUL, FDIV, FMOVI:
+			base.Rd, base.Rs1, base.Rs2 = F(1), F(2), F(3)
+		case FST:
+			base.Rs3 = F(4)
+		case VLD:
+			base.Rd = V(1)
+		case VADDQ, VXORQ:
+			base.Rd, base.Rs1, base.Rs2 = V(1), V(2), V(3)
+		case VST:
+			base.Rs3 = V(4)
+		}
+		if !op.IsMemRef() {
+			return []Inst{base}
+		}
+		noIdx := base
+		noIdx.Rs2 = NoReg
+		return []Inst{base, noIdx}
+	}
+	for i := 1; i < NumOpcodes; i++ {
+		op := Opcode(i)
+		for _, in := range variants(op) {
+			p := Predecode(in)
+			if p.Op != op || p.Kind != op.Kind() || p.FU != op.FU() {
+				t.Errorf("%s: Op/Kind/FU mismatch: %+v", in, p)
+			}
+			if int(p.Lat) != op.Latency() || int(p.MemSize) != op.MemSize() {
+				t.Errorf("%s: Lat/MemSize mismatch: %+v", in, p)
+			}
+			if p.Dest != in.Dest() || p.DestClass != in.Dest().Class() {
+				t.Errorf("%s: Dest = %s/%v, want %s/%v", in, p.Dest, p.DestClass, in.Dest(), in.Dest().Class())
+			}
+			var buf [4]Reg
+			srcs := in.SrcRegs(buf[:0])
+			if int(p.NSrc) != len(srcs) {
+				t.Fatalf("%s: NSrc = %d, want %d", in, p.NSrc, len(srcs))
+			}
+			for j, r := range srcs {
+				if p.Srcs[j] != r {
+					t.Errorf("%s: Srcs[%d] = %s, want %s", in, j, p.Srcs[j], r)
+				}
+			}
+			if p.Load != op.IsLoad() || p.Store != op.IsStore() || p.MemRef != op.IsMemRef() ||
+				p.CondBranch != op.IsCondBranch() || p.Control != op.IsControl() ||
+				p.Serializing != op.IsSerializing() || p.UsesIndex != in.UsesIndex() {
+				t.Errorf("%s: predicate mismatch: %+v", in, p)
+			}
+		}
+	}
+}

@@ -225,41 +225,69 @@ func (o Opcode) DestClass() RegClass { return opTable[o].destClass }
 // MemSize reports the access width in bytes for memory operations.
 func (o Opcode) MemSize() int { return int(opTable[o].memSize) }
 
+// opFlags packs every derived opcode predicate into one byte per opcode, so
+// the hot-path predicates below are a single unchecked table load instead of
+// a chain of Kind() switches.  The table spans the full uint8 domain: any
+// out-of-range opcode indexes a zero byte and every predicate reads false,
+// matching the old KindBad fallthrough without a bounds check.
+const (
+	fLoad uint8 = 1 << iota
+	fStore
+	fMemRef
+	fCondBranch
+	fControl
+	fSerializing
+)
+
+var opFlags = func() [256]uint8 {
+	var t [256]uint8
+	for op := 0; op < NumOpcodes; op++ {
+		k := opTable[op].kind
+		var f uint8
+		if k == KindLoad || k == KindRet {
+			f |= fLoad | fMemRef
+		}
+		if k == KindStore || k == KindCall || k == KindCallR {
+			f |= fStore | fMemRef
+		}
+		if k == KindFlush {
+			f |= fMemRef
+		}
+		if k == KindBranch {
+			f |= fCondBranch
+		}
+		if k == KindRDTSC || k == KindFence {
+			f |= fSerializing
+		}
+		switch k {
+		case KindBranch, KindJump, KindJumpR, KindCall, KindCallR, KindRet:
+			f |= fControl
+		}
+		t[op] = f
+	}
+	return t
+}()
+
 // IsLoad reports whether the opcode reads data memory (RET included: it pops
 // the return address from the stack).
-func (o Opcode) IsLoad() bool {
-	k := o.Kind()
-	return k == KindLoad || k == KindRet
-}
+func (o Opcode) IsLoad() bool { return opFlags[o]&fLoad != 0 }
 
 // IsStore reports whether the opcode writes data memory (CALL/CALLR push the
 // return address).
-func (o Opcode) IsStore() bool {
-	k := o.Kind()
-	return k == KindStore || k == KindCall || k == KindCallR
-}
+func (o Opcode) IsStore() bool { return opFlags[o]&fStore != 0 }
 
 // IsMemRef reports whether the opcode references data memory at all.
-func (o Opcode) IsMemRef() bool { return o.IsLoad() || o.IsStore() || o.Kind() == KindFlush }
+func (o Opcode) IsMemRef() bool { return opFlags[o]&fMemRef != 0 }
 
 // IsCondBranch reports whether the opcode is a conditional branch.
-func (o Opcode) IsCondBranch() bool { return o.Kind() == KindBranch }
+func (o Opcode) IsCondBranch() bool { return opFlags[o]&fCondBranch != 0 }
 
 // IsControl reports whether the opcode redirects the program counter.
-func (o Opcode) IsControl() bool {
-	switch o.Kind() {
-	case KindBranch, KindJump, KindJumpR, KindCall, KindCallR, KindRet:
-		return true
-	}
-	return false
-}
+func (o Opcode) IsControl() bool { return opFlags[o]&fControl != 0 }
 
 // IsSerializing reports whether the opcode must execute at the head of the
 // reorder buffer (RDTSC and FENCE).
-func (o Opcode) IsSerializing() bool {
-	k := o.Kind()
-	return k == KindRDTSC || k == KindFence
-}
+func (o Opcode) IsSerializing() bool { return opFlags[o]&fSerializing != 0 }
 
 // OpcodeByName maps a mnemonic back to its opcode, for the text assembler.
 func OpcodeByName(name string) (Opcode, bool) {

@@ -1,0 +1,54 @@
+package isa
+
+// Predecoded is the uop template for one instruction: everything the pipeline
+// front end derives from an Inst, computed once.  Machines cache one template
+// per static PC, so fetch and dispatch read flat fields instead of walking
+// the Kind()/SrcRegs()/Dest() switch chains on every dynamic instance.
+//
+// The zero value (Op == BAD) marks an unfilled cache slot; Predecode never
+// produces it for a valid instruction, since BAD never assembles.
+type Predecoded struct {
+	Op        Opcode
+	Kind      Kind
+	FU        FU
+	Lat       uint8 // execution latency in cycles
+	MemSize   uint8 // access width in bytes (0 for non-memory ops)
+	NSrc      uint8 // number of valid entries in Srcs
+	Scale     uint8
+	Srcs      [4]Reg // source registers, SrcRegs order (incl. implicit SP)
+	Dest      Reg    // destination register incl. implicit SP, or NoReg
+	DestClass RegClass
+
+	Load        bool // reads data memory (incl. RET)
+	Store       bool // writes data memory (incl. CALL/CALLR)
+	MemRef      bool // references data memory at all
+	CondBranch  bool
+	Control     bool // redirects the program counter
+	Serializing bool // must execute at the ROB head
+	UsesIndex   bool // effective address uses rs2<<scale
+}
+
+// Predecode derives the uop template for one instruction.
+func Predecode(in Inst) Predecoded {
+	op := in.Op
+	p := Predecoded{
+		Op:          op,
+		Kind:        op.Kind(),
+		FU:          op.FU(),
+		Lat:         uint8(op.Latency()),
+		MemSize:     uint8(op.MemSize()),
+		Scale:       in.Scale,
+		Dest:        in.Dest(),
+		Load:        op.IsLoad(),
+		Store:       op.IsStore(),
+		MemRef:      op.IsMemRef(),
+		CondBranch:  op.IsCondBranch(),
+		Control:     op.IsControl(),
+		Serializing: op.IsSerializing(),
+		UsesIndex:   in.UsesIndex(),
+	}
+	p.DestClass = p.Dest.Class()
+	srcs := in.SrcRegs(p.Srcs[:0])
+	p.NSrc = uint8(len(srcs))
+	return p
+}

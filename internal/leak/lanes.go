@@ -1,0 +1,104 @@
+package leak
+
+import (
+	"specrun/internal/cpu"
+	"specrun/internal/difftest"
+	"specrun/internal/proggen"
+)
+
+// CheckSeedLanes is CheckSeed with the seed's configuration runs advanced in
+// lockstep lane groups by the batch driver: the sequential baseline runs
+// once, then each group of up to `lanes` observed machines ticks together —
+// first every lane's valuation-A run, then valuation B for the lanes whose A
+// completed.  Per-machine observer buffers keep the traces separate, and the
+// result is byte-identical to CheckSeed at any lane count (findings and Ran
+// keep configuration order).
+func CheckSeedLanes(seed int64, opt proggen.Options, cfgs []difftest.NamedConfig, lanes int) SeedResult {
+	if lanes <= 1 {
+		return CheckSeed(seed, opt, cfgs)
+	}
+	if lanes > difftest.RunnerCacheCap {
+		lanes = difftest.RunnerCacheCap // a group must never evict its own machines
+	}
+	r := runners.Get()
+	defer runners.Put(r)
+	res := SeedResult{Seed: seed}
+	in := SeedInput(seed, opt)
+	if f := r.CheckSeqBaseline(in); f != nil {
+		f.Seed = seed
+		res.Findings = append(res.Findings, *f)
+		return res
+	}
+	for len(r.laneBufA) < lanes {
+		r.laneBufA = append(r.laneBufA, make([]Event, 0, 4096))
+		r.laneBufB = append(r.laneBufB, make([]Event, 0, 4096))
+	}
+	for lo := 0; lo < len(cfgs); lo += lanes {
+		group := cfgs[lo:min(lo+lanes, len(cfgs))]
+		es, ms, errsA, errsB := r.laneEs[:0], r.laneMs[:0], r.laneErrs[:0], []error(nil)
+		// Valuation A on every lane.
+		for gi, nc := range group {
+			e := r.entryFor(nc, in.ProgA)
+			if in.PokeA != nil {
+				in.PokeA(e.c.Mem())
+			}
+			buf := &r.laneBufA[gi]
+			*buf = (*buf)[:0]
+			e.active = buf
+			es, ms, errsA = append(es, e), append(ms, e.c), append(errsA, nil)
+		}
+		cpu.RunLockstep(ms, cpuBudget, errsA)
+		// Valuation B on the lanes whose A run completed.
+		errsB = make([]error, len(group))
+		for gi, e := range es {
+			if errsA[gi] != nil {
+				e.active = nil
+				ms[gi] = nil
+				continue
+			}
+			e.c.Reset(in.ProgB)
+			if in.PokeB != nil {
+				in.PokeB(e.c.Mem())
+			}
+			buf := &r.laneBufB[gi]
+			*buf = (*buf)[:0]
+			e.active = buf
+		}
+		cpu.RunLockstep(ms, cpuBudget, errsB)
+		for _, e := range es {
+			e.active = nil
+		}
+		r.laneEs, r.laneMs, r.laneErrs = es[:0], ms[:0], errsA[:0]
+		// Findings in configuration order, exactly as serial CheckConfig
+		// would report them.
+		for gi, nc := range group {
+			report := func(f *Finding, ran bool) {
+				if ran {
+					res.Ran = append(res.Ran, nc.Name)
+				}
+				if f != nil {
+					f.Seed = seed
+					res.Findings = append(res.Findings, *f)
+				}
+			}
+			if err := errsA[gi]; err != nil {
+				report(&Finding{Program: in.Name, Config: nc.Name, Kind: KindRunError, Detail: "valuation A: " + err.Error()}, false)
+				continue
+			}
+			if err := errsB[gi]; err != nil {
+				report(&Finding{Program: in.Name, Config: nc.Name, Kind: KindRunError, Detail: "valuation B: " + err.Error()}, false)
+				continue
+			}
+			a, b := r.laneBufA[gi], r.laneBufB[gi]
+			if i, ok := firstDiff(a, b); ok {
+				f := &Finding{Program: in.Name, Config: nc.Name, Kind: KindLeak, Index: i,
+					Detail: diffDetail(a, b, i)}
+				f.PC, f.Line, f.Event = divergenceSite(a, b, i)
+				report(f, true)
+				continue
+			}
+			report(nil, true)
+		}
+	}
+	return res
+}

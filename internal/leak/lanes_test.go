@@ -1,0 +1,56 @@
+package leak
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"specrun/internal/difftest"
+	"specrun/internal/sweep"
+)
+
+// TestCheckSeedLaneInvariant pins the lockstep leak oracle's contract: the
+// per-seed findings and Ran lists are identical to the serial checker at
+// every lane count (the per-machine observer buffers keep concurrent lanes'
+// traces separate).
+func TestCheckSeedLaneInvariant(t *testing.T) {
+	cfgs := difftest.Matrix(false)
+	opt := Options(difftest.CampaignSpec{}.WithDefaults())
+	for seed := int64(1); seed <= 3; seed++ {
+		want := CheckSeed(seed, opt, cfgs)
+		for _, lanes := range []int{1, 3, 4, 16} {
+			got := CheckSeedLanes(seed, opt, cfgs, lanes)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d lanes=%d: result diverged from serial:\nbatched: %+v\nserial:  %+v", seed, lanes, got, want)
+			}
+		}
+	}
+}
+
+// TestCampaignLaneInvariant pins the campaign-level invariant: the leak
+// report is byte-identical across lane counts and against the serial path.
+func TestCampaignLaneInvariant(t *testing.T) {
+	spec := difftest.CampaignSpec{Seeds: 4, Leaks: true, NoShrink: true}
+	serial, err := Run(context.Background(), spec, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{4, 16} {
+		rep, err := RunLanes(context.Background(), spec, sweep.Options{Workers: 2}, lanes)
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		got, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("lanes=%d: leak report diverged from serial:\nbatched: %s\nserial:  %s", lanes, got, want)
+		}
+	}
+}

@@ -155,23 +155,31 @@ type Input struct {
 
 // Runner holds the per-worker simulator state a leak campaign reuses across
 // inputs: one reference interpreter, one observed pipeline machine per
-// configuration, and the four reusable trace buffers.  The observers are
-// installed once per machine and write through r.active, so machine reuse
-// never reinstalls closures.
+// configuration, and the reusable trace buffers.  Each machine's observers
+// are installed once at construction and write through its own entry.active,
+// so machine reuse never reinstalls closures — and machines advanced together
+// in a lockstep lane group record into separate buffers.
 type Runner struct {
 	ref  *iss.Interp
 	cpus map[string]*entry
 	tick uint64
 
-	active     *[]Event // buffer the observer closures append to
+	active     *[]Event // buffer the interpreter's observer appends to
 	bufA, bufB []Event
 	seqA, seqB []Event
+
+	// Lane scratch for CheckSeedLanes (reused across groups and seeds).
+	laneEs             []*entry
+	laneMs             []*cpu.CPU
+	laneErrs           []error
+	laneBufA, laneBufB [][]Event
 }
 
 type entry struct {
 	cfg     cpu.Config
 	c       *cpu.CPU
 	lastUse uint64
+	active  *[]Event // buffer this machine's observers append to
 }
 
 // NewRunner builds an empty runner (campaigns draw pooled runners instead).
@@ -181,18 +189,18 @@ func NewRunner() *Runner {
 
 var runners = sweep.NewLocal(NewRunner)
 
-func (r *Runner) onCPU(o cpu.Observation) {
-	*r.active = append(*r.active, Event{
+func (e *entry) onCPU(o cpu.Observation) {
+	*e.active = append(*e.active, Event{
 		PC: o.PC, Line: o.Line, Kind: cpuKind(o.Kind), Level: uint8(o.Level), Mode: uint8(o.Mode),
 	})
 }
 
-func (r *Runner) onMem(e mem.CacheEvent) {
+func (e *entry) onMem(ev mem.CacheEvent) {
 	k := EvFill
-	if e.Kind == mem.CacheEvict {
+	if ev.Kind == mem.CacheEvict {
 		k = EvEvict
 	}
-	*r.active = append(*r.active, Event{Line: e.Line, Kind: k, Level: uint8(e.Level)})
+	*e.active = append(*e.active, Event{Line: ev.Line, Kind: k, Level: uint8(ev.Level)})
 }
 
 func (r *Runner) onISS(o iss.Observation) {
@@ -244,11 +252,12 @@ func (r *Runner) seqTrace(prog *asm.Program, poke func(*mem.Memory), into *[]Eve
 	return err
 }
 
-// pipeTrace runs prog on the pipeline under nc and captures its observation
-// trace.  Machines are cached per configuration name (value-compared, LRU-
-// bounded like the difftest runner cache) with observers pre-installed —
-// Reset keeps them.
-func (r *Runner) pipeTrace(nc difftest.NamedConfig, prog *asm.Program, poke func(*mem.Memory), into *[]Event) error {
+// entryFor returns nc's cached machine loaded with prog (Reset on reuse,
+// built with observers installed on first use, LRU-evicting on overflow) and
+// marks it most recently used.  Entries touched back to back — a lockstep
+// lane group — carry the highest lastUse values, so a group of at most
+// RunnerCacheCap machines never evicts its own members.
+func (r *Runner) entryFor(nc difftest.NamedConfig, prog *asm.Program) *entry {
 	e := r.cpus[nc.Name]
 	if e == nil || e.cfg != nc.Config {
 		if e == nil && len(r.cpus) >= difftest.RunnerCacheCap {
@@ -261,23 +270,33 @@ func (r *Runner) pipeTrace(nc difftest.NamedConfig, prog *asm.Program, poke func
 			}
 			delete(r.cpus, victim)
 		}
+		e = &entry{cfg: nc.Config}
 		c := cpu.New(nc.Config, prog)
-		c.SetObserver(r.onCPU)
-		c.Hier().SetObserver(r.onMem)
-		e = &entry{cfg: nc.Config, c: c}
+		c.SetObserver(e.onCPU)
+		c.Hier().SetObserver(e.onMem)
+		e.c = c
 		r.cpus[nc.Name] = e
 	} else {
 		e.c.Reset(prog)
 	}
 	r.tick++
 	e.lastUse = r.tick
+	return e
+}
+
+// pipeTrace runs prog on the pipeline under nc and captures its observation
+// trace.  Machines are cached per configuration name (value-compared, LRU-
+// bounded like the difftest runner cache) with observers pre-installed —
+// Reset keeps them.
+func (r *Runner) pipeTrace(nc difftest.NamedConfig, prog *asm.Program, poke func(*mem.Memory), into *[]Event) error {
+	e := r.entryFor(nc, prog)
 	if poke != nil {
 		poke(e.c.Mem())
 	}
 	*into = (*into)[:0]
-	r.active = into
+	e.active = into
 	err := e.c.Run(cpuBudget)
-	r.active = nil
+	e.active = nil
 	return err
 }
 

@@ -1,0 +1,43 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"specrun/internal/sweep"
+)
+
+// TestSweepLaneInvariant pins the batched ipc-sweep path: the merged rows —
+// including the error column for an invalid grid point — are byte-identical
+// to the serial path at every lane count.
+func TestSweepLaneInvariant(t *testing.T) {
+	spec := SweepSpec{
+		Mode:      "ipc",
+		ROB:       []int{128, 256},
+		Runahead:  []string{"none", "original"},
+		Workloads: []string{"mcf", "bwave"},
+	}
+	serial, _, err := RunSweep(context.Background(), spec, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{1, 3, 8} {
+		spec.Lanes = lanes
+		res, _, err := RunSweep(context.Background(), spec, sweep.Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("lanes=%d: sweep rows diverged from serial:\nbatched: %s\nserial:  %s", lanes, got, want)
+		}
+	}
+}
