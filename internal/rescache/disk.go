@@ -1,0 +1,368 @@
+package rescache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"specrun/internal/faultinject"
+)
+
+// DiskStats is the disk tier's section of [Stats].
+type DiskStats struct {
+	Hits        uint64 `json:"hits"`         // entries served from disk after a memory miss
+	Misses      uint64 `json:"misses"`       // memory misses that also missed on disk
+	Writes      uint64 `json:"writes"`       // entries persisted
+	WriteErrors uint64 `json:"write_errors"` // persists that failed (entry stays memory-only)
+	ReadErrors  uint64 `json:"read_errors"`  // reads that failed for non-corruption reasons
+	Quarantined uint64 `json:"quarantined"`  // corrupt entries moved aside on read
+	Evictions   uint64 `json:"evictions"`    // entries dropped by the size bound
+	Entries     int    `json:"entries"`      // files resident right now
+	Bytes       int64  `json:"bytes"`        // payload+checksum bytes resident
+	MaxBytes    int64  `json:"max_bytes"`    // size bound
+	Degraded    bool   `json:"degraded"`     // directory unusable at open: running memory-only
+}
+
+// diskEntry is one LRU node: front of the list = most recently used.
+type diskEntry struct {
+	key  string
+	size int64
+}
+
+// diskStore is the persistent tier under Cache: one content-addressed file
+// per entry.  The file layout is a 32-byte SHA-256 of the payload followed
+// by the payload, so every read is checksum-verified; a mismatch (torn
+// write, bit rot, truncation) quarantines the file instead of serving it.
+// Writes go through a tmp file + rename, so a crash can never leave a
+// half-written entry under its final name.
+type diskStore struct {
+	dir      string // entries live here, flat, named by hash key
+	tmpDir   string
+	quarDir  string
+	maxBytes int64
+
+	mu      sync.Mutex
+	ll      *list.List
+	index   map[string]*list.Element
+	bytes   int64
+	stats   DiskStats
+	logger  *slog.Logger
+	doFsync bool
+}
+
+const diskChecksumLen = sha256.Size
+
+// defaultDiskMaxBytes bounds the disk tier when the caller does not:
+// 256 MiB holds tens of thousands of typical encoded results.
+const defaultDiskMaxBytes = 256 << 20
+
+// openDiskStore scans dir and rebuilds the LRU index (recency order
+// approximated by file mtime), evicting past the size bound.  Entry files
+// are validated lazily — at read time, not during the scan — so startup
+// cost is one stat per file.
+func openDiskStore(dir string, maxBytes int64, logger *slog.Logger) (*diskStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = defaultDiskMaxBytes
+	}
+	d := &diskStore{
+		dir:      dir,
+		tmpDir:   filepath.Join(dir, "tmp"),
+		quarDir:  filepath.Join(dir, "quarantine"),
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		index:    make(map[string]*list.Element),
+		logger:   logger,
+		doFsync:  true,
+	}
+	for _, p := range []string{dir, d.tmpDir, d.quarDir} {
+		if err := os.MkdirAll(p, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	// Writability probe: degrade now, at open, rather than on the first
+	// entry write under load.
+	probe := filepath.Join(d.tmpDir, "probe")
+	if err := os.WriteFile(probe, []byte("ok"), 0o644); err != nil {
+		return nil, err
+	}
+	os.Remove(probe)
+
+	// Leftover tmp files are casualties of a previous crash mid-write; their
+	// entries were never visible, so they are garbage by construction.
+	if names, err := os.ReadDir(d.tmpDir); err == nil {
+		for _, n := range names {
+			os.Remove(filepath.Join(d.tmpDir, n.Name()))
+		}
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type scanned struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var found []scanned
+	for _, e := range ents {
+		if e.IsDir() || !isHexKey(e.Name()) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{key: e.Name(), size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(a, b int) bool { return found[a].mtime < found[b].mtime })
+	for _, f := range found { // oldest first: each PushFront leaves the LRU tail oldest
+		d.index[f.key] = d.ll.PushFront(&diskEntry{key: f.key, size: f.size})
+		d.bytes += f.size
+	}
+	d.evictLocked()
+	return d, nil
+}
+
+// isHexKey filters directory noise: entry files are hex SHA-256 names.
+func isHexKey(name string) bool {
+	if len(name) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// get reads and verifies one entry.  Corrupt files are quarantined and
+// reported as misses; the caller falls through to recomputation, and the
+// eventual write replaces the entry.
+func (d *diskStore) get(key string) ([]byte, bool) {
+	d.mu.Lock()
+	el, ok := d.index[key]
+	if ok {
+		d.ll.MoveToFront(el)
+	}
+	d.mu.Unlock()
+	if !ok {
+		d.count(func(s *DiskStats) { s.Misses++ })
+		return nil, false
+	}
+
+	raw, err := os.ReadFile(filepath.Join(d.dir, key))
+	if err == nil {
+		err = faultinject.Err(faultinject.DiskRead)
+	}
+	if err != nil {
+		if os.IsNotExist(err) {
+			// The file vanished under us (eviction race, external cleanup):
+			// drop the index entry and miss.
+			d.drop(key)
+			d.count(func(s *DiskStats) { s.Misses++ })
+			return nil, false
+		}
+		d.count(func(s *DiskStats) { s.ReadErrors++; s.Misses++ })
+		d.logger.Warn("rescache: disk read failed", "key", key, "error", err)
+		return nil, false
+	}
+	if len(raw) < diskChecksumLen || sha256.Sum256(raw[diskChecksumLen:]) != [diskChecksumLen]byte(raw[:diskChecksumLen]) {
+		d.quarantine(key)
+		d.count(func(s *DiskStats) { s.Misses++ })
+		return nil, false
+	}
+	d.count(func(s *DiskStats) { s.Hits++ })
+	return raw[diskChecksumLen:], true
+}
+
+// put persists one entry atomically: checksum+payload into a tmp file,
+// fsync, rename into place.  Failures are logged and counted but never
+// propagate — the entry simply stays memory-only.
+func (d *diskStore) put(key string, val []byte) {
+	path := filepath.Join(d.dir, key)
+	d.mu.Lock()
+	if _, ok := d.index[key]; ok {
+		d.mu.Unlock()
+		return // content-addressed: an existing entry is already this value
+	}
+	d.mu.Unlock()
+
+	sum := sha256.Sum256(val)
+	err := faultinject.Err(faultinject.DiskWrite)
+	tmp := filepath.Join(d.tmpDir, key)
+	if err == nil {
+		err = writeFileSync(tmp, sum[:], val, d.doFsync)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		d.count(func(s *DiskStats) { s.WriteErrors++ })
+		d.logger.Warn("rescache: disk write failed, entry stays memory-only", "key", key, "error", err)
+		return
+	}
+
+	size := int64(len(val) + diskChecksumLen)
+	d.mu.Lock()
+	if _, ok := d.index[key]; !ok {
+		d.index[key] = d.ll.PushFront(&diskEntry{key: key, size: size})
+		d.bytes += size
+		d.stats.Writes++
+		d.evictLocked()
+	}
+	d.mu.Unlock()
+}
+
+// writeFileSync writes header+payload and optionally fsyncs before close.
+func writeFileSync(path string, header, payload []byte, doFsync bool) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(header); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil && doFsync {
+		if err = faultinject.Err(faultinject.Fsync); err == nil {
+			err = f.Sync()
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// evictLocked drops LRU-tail entries until the size bound holds (d.mu held).
+func (d *diskStore) evictLocked() {
+	for d.bytes > d.maxBytes && d.ll.Len() > 0 {
+		tail := d.ll.Back()
+		ent := tail.Value.(*diskEntry)
+		d.ll.Remove(tail)
+		delete(d.index, ent.key)
+		d.bytes -= ent.size
+		d.stats.Evictions++
+		os.Remove(filepath.Join(d.dir, ent.key))
+	}
+}
+
+// drop removes a key from the index without touching the file.
+func (d *diskStore) drop(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.index[key]; ok {
+		ent := el.Value.(*diskEntry)
+		d.ll.Remove(el)
+		delete(d.index, key)
+		d.bytes -= ent.size
+	}
+}
+
+// quarantine moves a corrupt entry aside (never deletes — the bytes are
+// evidence) and logs loudly.  The key becomes a miss and will be rewritten
+// by the next computation.
+func (d *diskStore) quarantine(key string) {
+	d.drop(key)
+	dst := filepath.Join(d.quarDir, key)
+	if err := os.Rename(filepath.Join(d.dir, key), dst); err != nil {
+		os.Remove(filepath.Join(d.dir, key)) // can't preserve it; at least stop serving it
+		dst = "(unlinked)"
+	}
+	d.count(func(s *DiskStats) { s.Quarantined++ })
+	d.logger.Warn("rescache: checksum mismatch, entry quarantined", "key", key, "moved_to", dst)
+}
+
+func (d *diskStore) count(f func(*DiskStats)) {
+	d.mu.Lock()
+	f(&d.stats)
+	d.mu.Unlock()
+}
+
+func (d *diskStore) snapshot() *DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.Entries = d.ll.Len()
+	s.Bytes = d.bytes
+	s.MaxBytes = d.maxBytes
+	return &s
+}
+
+// --- Cache integration ---
+
+// DiskOptions configures the persistent tier.
+type DiskOptions struct {
+	// Dir is the entry directory (created if absent).
+	Dir string
+	// MaxBytes bounds the tier's resident size (0 = 256 MiB).
+	MaxBytes int64
+	// Logger receives degradation and corruption warnings (nil = discard).
+	Logger *slog.Logger
+	// NoFsync skips the per-entry fsync (tests; production keeps it for
+	// kill -9 safety).
+	NoFsync bool
+}
+
+// AttachDisk adds a persistent tier under the memory cache: entries are
+// written through on store and consulted on memory misses, so previously
+// computed results survive a restart.  If the directory cannot be prepared
+// or is unwritable, the cache degrades to memory-only — a logged warning
+// plus the Stats.Disk.Degraded flag, never a refusal to serve — and the
+// error is returned for the caller's metrics.
+func (c *Cache) AttachDisk(opts DiskOptions) error {
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	d, err := openDiskStore(opts.Dir, opts.MaxBytes, logger)
+	if err != nil {
+		logger.Warn("rescache: disk tier unavailable, running memory-only", "dir", opts.Dir, "error", err)
+		c.mu.Lock()
+		c.diskDegraded = true
+		c.mu.Unlock()
+		return fmt.Errorf("rescache: disk tier %s: %w", opts.Dir, err)
+	}
+	d.doFsync = !opts.NoFsync
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+	return nil
+}
+
+// diskGet consults the disk tier after a memory miss and, on a hit,
+// promotes the entry into memory.  Called without c.mu held (file IO).
+func (c *Cache) diskGet(key string) ([]byte, bool) {
+	c.mu.Lock()
+	d := c.disk
+	c.mu.Unlock()
+	if d == nil {
+		return nil, false
+	}
+	val, ok := d.get(key)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.add(key, val)
+	c.mu.Unlock()
+	return val, true
+}
+
+// diskPut writes through to the disk tier.  Called without c.mu held.
+func (c *Cache) diskPut(key string, val []byte) {
+	c.mu.Lock()
+	d := c.disk
+	c.mu.Unlock()
+	if d != nil {
+		d.put(key, val)
+	}
+}

@@ -1,0 +1,267 @@
+package rescache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specrun/internal/faultinject"
+)
+
+// diskKey builds a well-formed hex key from a label.
+func diskKey(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func newDiskCache(t *testing.T, dir string) *Cache {
+	t.Helper()
+	c := New(8)
+	if err := c.AttachDisk(DiskOptions{Dir: dir, NoFsync: true}); err != nil {
+		t.Fatalf("AttachDisk: %v", err)
+	}
+	return c
+}
+
+// TestDiskSurvivesRestart is the durability contract: a value computed by
+// one cache instance is served — without recomputation — by a fresh
+// instance over the same directory.
+func TestDiskSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	key := diskKey("restart")
+	c1 := newDiskCache(t, dir)
+	ran := 0
+	v, hit, err := c1.Do(context.Background(), key, func() ([]byte, error) {
+		ran++
+		return []byte("payload-1"), nil
+	})
+	if err != nil || hit || string(v) != "payload-1" || ran != 1 {
+		t.Fatalf("first compute: v=%q hit=%v err=%v ran=%d", v, hit, err, ran)
+	}
+
+	// "Restart": a brand-new cache over the same directory.
+	c2 := newDiskCache(t, dir)
+	v, hit, err = c2.Do(context.Background(), key, func() ([]byte, error) {
+		t.Fatal("recomputed a disk-resident entry")
+		return nil, nil
+	})
+	if err != nil || !hit || string(v) != "payload-1" {
+		t.Fatalf("after restart: v=%q hit=%v err=%v", v, hit, err)
+	}
+	st := c2.Stats()
+	if st.Disk == nil || st.Disk.Hits != 1 {
+		t.Fatalf("disk stats after restart hit: %+v", st.Disk)
+	}
+	// The promoted entry now hits memory: no second disk read.
+	if _, ok := c2.Get(key); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if st := c2.Stats(); st.Disk.Hits != 1 {
+		t.Fatalf("memory hit consulted disk again: %+v", st.Disk)
+	}
+}
+
+// TestDiskChecksumQuarantine: a corrupted entry file is never served — it
+// is moved to quarantine, the lookup misses, and the recomputed value
+// replaces it.
+func TestDiskChecksumQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	key := diskKey("corrupt")
+	c1 := newDiskCache(t, dir)
+	c1.Add(key, []byte("good bytes"))
+
+	// Flip a payload byte on disk.
+	path := filepath.Join(dir, key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newDiskCache(t, dir)
+	ran := 0
+	v, hit, err := c2.Do(context.Background(), key, func() ([]byte, error) {
+		ran++
+		return []byte("good bytes"), nil
+	})
+	if err != nil || hit || ran != 1 || string(v) != "good bytes" {
+		t.Fatalf("corrupt entry: v=%q hit=%v err=%v ran=%d", v, hit, err, ran)
+	}
+	st := c2.Stats()
+	if st.Disk.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1 (%+v)", st.Disk.Quarantined, st.Disk)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key)); err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	// The recompute rewrote a healthy entry.
+	sum, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sha256.Sum256(sum[diskChecksumLen:]); got != [diskChecksumLen]byte(sum[:diskChecksumLen]) {
+		t.Fatal("rewritten entry fails its own checksum")
+	}
+}
+
+// TestDiskSizeBoundEviction: the startup scan and the write path both hold
+// the byte bound, evicting least-recently-used files.
+func TestDiskSizeBoundEviction(t *testing.T) {
+	dir := t.TempDir()
+	c := New(64)
+	// Bound small enough for ~3 entries of 100 payload bytes (+32 checksum).
+	if err := c.AttachDisk(DiskOptions{Dir: dir, MaxBytes: 400, NoFsync: true}); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	keys := make([]string, 6)
+	for i := range keys {
+		keys[i] = diskKey(string(rune('a' + i)))
+		c.Add(keys[i], payload)
+	}
+	st := c.Stats()
+	if st.Disk.Bytes > 400 {
+		t.Fatalf("disk bytes %d exceed bound 400", st.Disk.Bytes)
+	}
+	if st.Disk.Evictions == 0 {
+		t.Fatal("no evictions recorded past the bound")
+	}
+	// The newest entry survived; the oldest was evicted.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, f := range files {
+		onDisk[f.Name()] = true
+	}
+	if !onDisk[keys[5]] {
+		t.Fatal("newest entry evicted")
+	}
+	if onDisk[keys[0]] {
+		t.Fatal("oldest entry survived past the bound")
+	}
+}
+
+// TestDiskDegradesToMemoryOnly: an unusable directory must not break the
+// cache — AttachDisk errors, the Degraded flag is set, and lookups work.
+func TestDiskDegradesToMemoryOnly(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(parent, 0o755)
+	c := New(8)
+	if err := c.AttachDisk(DiskOptions{Dir: filepath.Join(parent, "cache")}); err == nil {
+		t.Fatal("AttachDisk on read-only parent succeeded")
+	}
+	v, hit, err := c.Do(context.Background(), diskKey("degraded"), func() ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || hit || string(v) != "ok" {
+		t.Fatalf("degraded cache compute: %q %v %v", v, hit, err)
+	}
+	st := c.Stats()
+	if st.Disk == nil || !st.Disk.Degraded {
+		t.Fatalf("degraded flag not surfaced: %+v", st.Disk)
+	}
+}
+
+// TestDiskInjectedWriteErrors: an injected write failure leaves the entry
+// memory-only (counted, logged) and the next instance recomputes — exactly
+// the graceful-degradation contract.
+func TestDiskInjectedWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	faultinject.Enable(faultinject.Config{Points: map[faultinject.Point]faultinject.PointConfig{
+		faultinject.DiskWrite: {First: 1},
+	}})
+	defer faultinject.Disable()
+
+	c := newDiskCache(t, dir)
+	key := diskKey("wfault")
+	c.Add(key, []byte("v1"))
+	st := c.Stats()
+	if st.Disk.WriteErrors != 1 || st.Disk.Writes != 0 {
+		t.Fatalf("after injected write error: %+v", st.Disk)
+	}
+	// Memory still serves it.
+	if v, ok := c.Get(key); !ok || string(v) != "v1" {
+		t.Fatalf("memory lookup after write fault: %q %v", v, ok)
+	}
+	// The second write (fault exhausted) persists.
+	key2 := diskKey("wfault2")
+	c.Add(key2, []byte("v2"))
+	if st := c.Stats(); st.Disk.Writes != 1 {
+		t.Fatalf("second write not persisted: %+v", st.Disk)
+	}
+}
+
+// TestDiskInjectedReadErrors: a read fault is a miss, not a crash, and the
+// entry is not quarantined (the bytes on disk are fine).
+func TestDiskInjectedReadErrors(t *testing.T) {
+	dir := t.TempDir()
+	c1 := newDiskCache(t, dir)
+	key := diskKey("rfault")
+	c1.Add(key, []byte("stable"))
+
+	faultinject.Enable(faultinject.Config{Points: map[faultinject.Point]faultinject.PointConfig{
+		faultinject.DiskRead: {First: 1},
+	}})
+	defer faultinject.Disable()
+
+	c2 := newDiskCache(t, dir)
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("read fault served a value")
+	}
+	st := c2.Stats()
+	if st.Disk.ReadErrors != 1 || st.Disk.Quarantined != 0 {
+		t.Fatalf("after injected read error: %+v", st.Disk)
+	}
+	// Fault exhausted: the entry reads fine and was never quarantined.
+	if v, ok := c2.Get(key); !ok || string(v) != "stable" {
+		t.Fatalf("entry lost after transient read fault: %q %v", v, ok)
+	}
+}
+
+// TestDiskTmpLeftoversCleaned: tmp files from a crashed writer are removed
+// at open and never surface as entries.
+func TestDiskTmpLeftoversCleaned(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "tmp", diskKey("halfwrite"))
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newDiskCache(t, dir)
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale tmp file survived open: %v", err)
+	}
+}
+
+// TestDiskIgnoresForeignFiles: non-entry names in the directory are left
+// alone and never loaded.
+func TestDiskIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := newDiskCache(t, dir)
+	if st := c.Stats(); st.Disk.Entries != 0 {
+		t.Fatalf("foreign file indexed: %+v", st.Disk)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README.txt")); err != nil {
+		t.Fatalf("foreign file touched: %v", err)
+	}
+}

@@ -16,13 +16,14 @@ import (
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
 type Stats struct {
-	Hits       uint64  `json:"hits"`        // served from a stored entry
-	Misses     uint64  `json:"misses"`      // computations actually run
-	Dedups     uint64  `json:"dedups"`      // callers coalesced onto an in-flight computation
-	Evictions  uint64  `json:"evictions"`   // entries discarded by the LRU bound
-	Entries    int     `json:"entries"`     // stored entries right now
-	MaxEntries int     `json:"max_entries"` // capacity bound
-	HitRate    float64 `json:"hit_rate"`    // (hits+dedups) / lookups, 0 when idle
+	Hits       uint64     `json:"hits"`        // served from a stored entry (memory or disk)
+	Misses     uint64     `json:"misses"`      // computations actually run
+	Dedups     uint64     `json:"dedups"`      // callers coalesced onto an in-flight computation
+	Evictions  uint64     `json:"evictions"`   // entries discarded by the LRU bound
+	Entries    int        `json:"entries"`     // stored entries right now
+	MaxEntries int        `json:"max_entries"` // capacity bound
+	HitRate    float64    `json:"hit_rate"`    // (hits+dedups) / lookups, 0 when idle
+	Disk       *DiskStats `json:"disk,omitempty"` // persistent tier, when attached (see AttachDisk)
 }
 
 type entry struct {
@@ -46,6 +47,12 @@ type Cache struct {
 	entries  map[string]*list.Element
 	inflight map[string]*flight
 
+	// disk is the optional persistent tier (AttachDisk): consulted after a
+	// memory miss, written through on store.  diskDegraded records that an
+	// attach failed, for Stats.
+	disk         *diskStore
+	diskDegraded bool
+
 	hits, misses, dedups, evictions uint64
 }
 
@@ -68,39 +75,60 @@ func New(max int) *Cache {
 // result is stored.  Errors are returned to every coalesced caller and not
 // cached.  hit reports whether the bytes were served without running fn.
 func (c *Cache) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, hit bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		val = el.Value.(*entry).val
-		c.mu.Unlock()
-		return val, true, nil
-	}
-	if f, ok := c.inflight[key]; ok {
-		c.dedups++
-		c.mu.Unlock()
-		select {
-		case <-f.done:
-			return f.val, true, f.err
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
+	probedDisk := false
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			c.hits++
+			val = el.Value.(*entry).val
+			c.mu.Unlock()
+			return val, true, nil
 		}
-	}
-	f := &flight{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.misses++
-	c.mu.Unlock()
+		if f, ok := c.inflight[key]; ok {
+			c.dedups++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				return f.val, true, f.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		if d := c.disk; d != nil && !probedDisk {
+			// Disk probe happens outside the lock (file IO), then the loop
+			// re-checks: another caller may have promoted the entry or
+			// registered a flight meanwhile.
+			c.mu.Unlock()
+			probedDisk = true
+			if v, ok := d.get(key); ok {
+				c.mu.Lock()
+				c.hits++
+				c.add(key, v)
+				c.mu.Unlock()
+				return v, true, nil
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.misses++
+		c.mu.Unlock()
 
-	f.val, f.err = runProtected(fn)
+		f.val, f.err = runProtected(fn)
 
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if f.err == nil {
-		c.add(key, f.val)
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.add(key, f.val)
+		}
+		c.mu.Unlock()
+		if f.err == nil {
+			c.diskPut(key, f.val)
+		}
+		close(f.done)
+		return f.val, false, f.err
 	}
-	c.mu.Unlock()
-	close(f.done)
-	return f.val, false, f.err
 }
 
 // runProtected converts a panicking computation into an error.  Without
@@ -116,27 +144,43 @@ func runProtected(fn func() ([]byte, error)) (val []byte, err error) {
 	return fn()
 }
 
-// Get returns the stored bytes for key, counting a hit or a miss.
+// Get returns the stored bytes for key, counting a hit or a miss.  With a
+// disk tier attached, a memory miss falls through to disk, promoting the
+// entry back into memory on a hit.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		return nil, false
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true
 	}
-	c.ll.MoveToFront(el)
-	c.hits++
-	return el.Value.(*entry).val, true
+	hasDisk := c.disk != nil
+	c.mu.Unlock()
+	if hasDisk {
+		if v, ok := c.diskGet(key); ok {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return v, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
 }
 
 // Add stores val under key (replacing any previous value) without counting
-// a lookup.  Used by the async job runner, which computes outside Do so a
-// job cancellation never aborts co-waiting requests.
+// a lookup, writing through to the disk tier when attached.  Used by the
+// async job runner, which computes outside Do so a job cancellation never
+// aborts co-waiting requests.
 func (c *Cache) Add(key string, val []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.add(key, val)
+	c.mu.Unlock()
+	c.diskPut(key, val)
 }
 
 // add inserts under c.mu, evicting from the LRU tail past the bound.
@@ -158,7 +202,6 @@ func (c *Cache) add(key string, val []byte) {
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := Stats{
 		Hits:       c.hits,
 		Misses:     c.misses,
@@ -167,8 +210,16 @@ func (c *Cache) Stats() Stats {
 		Entries:    c.ll.Len(),
 		MaxEntries: c.max,
 	}
+	d := c.disk
+	degraded := c.diskDegraded
+	c.mu.Unlock()
 	if lookups := s.Hits + s.Dedups + s.Misses; lookups > 0 {
 		s.HitRate = float64(s.Hits+s.Dedups) / float64(lookups)
+	}
+	if d != nil {
+		s.Disk = d.snapshot()
+	} else if degraded {
+		s.Disk = &DiskStats{Degraded: true}
 	}
 	return s
 }

@@ -1,0 +1,485 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testCtx is the lease-context factory store-level tests use.
+func testCtx() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
+}
+
+// TestRetryBackoffSchedule pins the backoff math: exponential growth from
+// BaseDelay, capped at MaxDelay, with deterministic bounded jitter — the
+// whole schedule is a pure function of (policy, job, attempt), so a
+// restarted server recomputes the identical plan.
+func TestRetryBackoffSchedule(t *testing.T) {
+	noJitter := RetryPolicy{Jitter: -1}.withDefaults()
+	for i, want := range []time.Duration{
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+		1 * time.Second,
+		2 * time.Second,
+		4 * time.Second,
+		8 * time.Second,
+		15 * time.Second, // capped: 16s > MaxDelay
+		15 * time.Second,
+	} {
+		if got := noJitter.delay("j1", i+1); got != want {
+			t.Fatalf("attempt %d: delay = %v, want %v", i+1, got, want)
+		}
+	}
+
+	jittered := RetryPolicy{}.withDefaults()
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := jittered.delay("j7", attempt)
+		d2 := jittered.delay("j7", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: jitter is not deterministic (%v vs %v)", attempt, d1, d2)
+		}
+		base := noJitter.delay("j7", attempt)
+		lo := time.Duration(float64(base) * (1 - jittered.Jitter))
+		hi := time.Duration(float64(base) * (1 + jittered.Jitter))
+		if d1 < lo || d1 > hi {
+			t.Fatalf("attempt %d: delay %v outside jitter band [%v, %v]", attempt, d1, lo, hi)
+		}
+	}
+	// Different jobs get different jitter (decorrelated thundering herd).
+	if jittered.delay("j1", 3) == jittered.delay("j2", 3) {
+		t.Fatal("jitter does not vary across jobs")
+	}
+}
+
+// TestLeaseExpiryReclaim drives the lease watchdog with an explicit clock:
+// an attempt that stops heartbeating is reclaimed and re-queued until its
+// attempts are exhausted, at which point the job fails terminally.
+func TestLeaseExpiryReclaim(t *testing.T) {
+	s := newJobStore()
+	s.policy = RetryPolicy{MaxAttempts: 2, Jitter: -1}.withDefaults()
+	s.leaseTTL = time.Minute
+
+	t0 := time.Now()
+	id := s.create("fig9", JobRequest{})
+
+	var cancelled atomic.Int32
+	lj, ok := s.leaseNext(t0, func() (context.Context, context.CancelFunc) {
+		ctx, cancel := context.WithCancel(context.Background())
+		return ctx, func() { cancelled.Add(1); cancel() }
+	})
+	if !ok || lj.id != id || lj.attempt != 1 {
+		t.Fatalf("first lease: %+v %v", lj, ok)
+	}
+
+	// Before the deadline the watchdog leaves the lease alone.
+	if got := s.reclaimExpired(t0.Add(59 * time.Second)); len(got) != 0 {
+		t.Fatalf("reclaimed a live lease: %d cancels", len(got))
+	}
+	// Past the deadline the attempt is cancelled and the job re-queued.
+	for _, c := range s.reclaimExpired(t0.Add(61 * time.Second)) {
+		c()
+	}
+	if cancelled.Load() != 1 {
+		t.Fatalf("cancel invocations = %d, want 1", cancelled.Load())
+	}
+	v, _ := s.get(id)
+	if v.Status != JobPending || v.Attempts != 1 {
+		t.Fatalf("after first expiry: %+v", v)
+	}
+	if st := s.stats(); st.LeaseExpiries != 1 || st.Retries != 1 {
+		t.Fatalf("stats after first expiry: %+v", st)
+	}
+
+	// The retry is delayed by the backoff schedule.
+	t1 := t0.Add(61 * time.Second)
+	if _, ok := s.leaseNext(t1, testCtx); ok {
+		t.Fatal("leased a backing-off job")
+	}
+	t2 := t1.Add(s.policy.delay(id, 1))
+	lj, ok = s.leaseNext(t2, testCtx)
+	if !ok || lj.attempt != 2 {
+		t.Fatalf("second lease: %+v %v", lj, ok)
+	}
+
+	// Expiring the final attempt fails the job permanently.
+	for _, c := range s.reclaimExpired(t2.Add(2 * time.Minute)) {
+		c()
+	}
+	v, _ = s.get(id)
+	if v.Status != JobFailed || !strings.Contains(v.Error, "lease expired after 2 attempts") {
+		t.Fatalf("after final expiry: %+v", v)
+	}
+	if _, ok := s.leaseNext(t2.Add(3*time.Minute), testCtx); ok {
+		t.Fatal("leased a terminally failed job")
+	}
+}
+
+// TestFinishStaleAttempt: a reclaimed attempt's late report must not
+// clobber the newer lease — only the current attempt may move the job.
+func TestFinishStaleAttempt(t *testing.T) {
+	s := newJobStore()
+	s.policy = RetryPolicy{Jitter: -1}.withDefaults()
+	s.leaseTTL = time.Minute
+
+	t0 := time.Now()
+	id := s.create("fig9", JobRequest{})
+	lj1, _ := s.leaseNext(t0, testCtx)
+	for _, c := range s.reclaimExpired(t0.Add(2 * time.Minute)) {
+		c()
+	}
+	t1 := t0.Add(2*time.Minute + s.policy.delay(id, 1))
+	lj2, ok := s.leaseNext(t1, testCtx)
+	if !ok || lj2.attempt != 2 {
+		t.Fatalf("second lease: %+v %v", lj2, ok)
+	}
+
+	// The zombie first attempt reports success late: dropped.
+	s.finish(id, lj1.attempt, "", []byte(`{"stale":true}`), "", false)
+	if v, _ := s.get(id); v.Status != JobRunning || len(v.Result) != 0 {
+		t.Fatalf("stale finish applied: %+v", v)
+	}
+	// The live attempt's report lands.
+	s.finish(id, lj2.attempt, "key", []byte(`{"ok":true}`), "", false)
+	v, _ := s.get(id)
+	if v.Status != JobDone || string(v.Result) != `{"ok":true}` || v.Error != "" {
+		t.Fatalf("live finish: %+v", v)
+	}
+	// Stale progress after terminal is also dropped.
+	s.progress(id, lj2.attempt, 5, 10)
+	if v, _ := s.get(id); v.Progress.Done != v.Progress.Total {
+		t.Fatalf("progress applied after terminal: %+v", v)
+	}
+}
+
+// TestFailedAttemptRequeued: a failed attempt re-queues with backoff and a
+// later attempt can still succeed, clearing the transient error.
+func TestFailedAttemptRequeued(t *testing.T) {
+	s := newJobStore()
+	s.policy = RetryPolicy{Jitter: -1}.withDefaults()
+
+	t0 := time.Now()
+	id := s.create("fig9", JobRequest{})
+	lj, _ := s.leaseNext(t0, testCtx)
+	s.finish(id, lj.attempt, "", nil, "injected fault", false)
+
+	v, _ := s.get(id)
+	if v.Status != JobPending || v.Error != "injected fault" {
+		t.Fatalf("after failed attempt: %+v", v)
+	}
+	if _, ok := s.leaseNext(t0, testCtx); ok {
+		t.Fatal("retry leased before its backoff elapsed")
+	}
+	lj, ok := s.leaseNext(t0.Add(time.Hour), testCtx)
+	if !ok || lj.attempt != 2 {
+		t.Fatalf("retry lease: %+v %v", lj, ok)
+	}
+	s.finish(id, lj.attempt, "", []byte(`{}`), "", false)
+	v, _ = s.get(id)
+	if v.Status != JobDone || v.Error != "" || v.Attempts != 2 {
+		t.Fatalf("after recovery: %+v", v)
+	}
+}
+
+// TestJournalRestore is the durability contract at the store level: every
+// lifecycle shape — done, permanently failed, cancelled, never-leased
+// pending, and leased-then-crashed — replays from the journal into the
+// state the next boot needs, and compaction preserves it.
+func TestJournalRestore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.jsonl")
+	logger := slog.New(slog.DiscardHandler)
+
+	jnl, recs, err := openJournal(path, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	a := newJobStore()
+	a.policy = RetryPolicy{MaxAttempts: 2, Jitter: -1}.withDefaults()
+	a.journal = jnl
+
+	doneID := a.create("fig9", JobRequest{RunRequest: RunRequest{Workers: 1}})
+	lj, _ := a.leaseNext(time.Now(), testCtx)
+	a.finish(doneID, lj.attempt, "cachekey", []byte(`{"answer":42}`), "", false)
+
+	failedID := a.create("fig10", JobRequest{})
+	for i := 0; i < 2; i++ {
+		lj, ok := a.leaseNext(time.Now().Add(time.Hour), testCtx)
+		if !ok {
+			t.Fatalf("lease %d of failing job", i)
+		}
+		a.finish(failedID, lj.attempt, "", nil, "boom", false)
+	}
+
+	cancelledID := a.create("fig9", JobRequest{})
+	a.cancelJob(cancelledID)
+
+	crashedID := a.create("fig9", JobRequest{})
+	if lj, ok := a.leaseNext(time.Now().Add(2*time.Hour), testCtx); !ok || lj.id != crashedID {
+		t.Fatalf("lease of crash job: %+v %v", lj, ok)
+	}
+	pendingID := a.create("defense", JobRequest{})
+	// Crash: nothing more is journaled for crashedID after its lease.
+	jnl.close()
+
+	// Reboot: replay, restore, compact, replay again.
+	for round := 0; round < 2; round++ {
+		jnl2, recs2, err := openJournal(path, logger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := newJobStore()
+		b.policy = a.policy
+		b.restore(recs2, nil)
+
+		v, ok := b.get(doneID)
+		if !ok || v.Status != JobDone || string(v.Result) != `{"answer":42}` {
+			t.Fatalf("round %d: done job: %+v %v", round, v, ok)
+		}
+		if v, _ := b.get(failedID); v.Status != JobFailed || v.Error != "boom" {
+			t.Fatalf("round %d: failed job: %+v", round, v)
+		}
+		if v, _ := b.get(cancelledID); v.Status != JobCancelled {
+			t.Fatalf("round %d: cancelled job: %+v", round, v)
+		}
+		if v, _ := b.get(pendingID); v.Status != JobPending || v.Attempts != 0 {
+			t.Fatalf("round %d: pending job: %+v", round, v)
+		}
+		// The crashed lease re-queues with its attempt preserved.
+		if v, _ := b.get(crashedID); v.Status != JobPending || v.Attempts != 1 {
+			t.Fatalf("round %d: crashed job: %+v", round, v)
+		}
+		// Ids continue past the replayed maximum: no reuse after restart.
+		if fresh := b.create("fig9", JobRequest{}); fresh == crashedID || fresh == pendingID {
+			t.Fatalf("round %d: id %s reused after restore", round, fresh)
+		}
+		// Done jobs are never re-leased: only the two pendings (plus the
+		// fresh one) are leasable.
+		leased := map[string]bool{}
+		for {
+			lj, ok := b.leaseNext(time.Now().Add(24*time.Hour), testCtx)
+			if !ok {
+				break
+			}
+			leased[lj.id] = true
+		}
+		if leased[doneID] || leased[failedID] || leased[cancelledID] {
+			t.Fatalf("round %d: re-leased a terminal job: %v", round, leased)
+		}
+		if !leased[pendingID] || !leased[crashedID] {
+			t.Fatalf("round %d: pending work not re-leased: %v", round, leased)
+		}
+
+		if round == 0 {
+			// Compact and loop: the rewritten journal must restore identically.
+			b2 := newJobStore()
+			b2.policy = a.policy
+			b2.restore(recs2, nil)
+			if err := jnl2.rewrite(b2.snapshotRecords()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		jnl2.close()
+	}
+}
+
+// TestJournalTornTail: a kill -9 mid-append leaves a torn final line; the
+// journal must replay everything before it and keep working.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.jsonl")
+	logger := slog.New(slog.DiscardHandler)
+
+	jnl, _, err := openJournal(path, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newJobStore()
+	s.journal = jnl
+	id := s.create("fig9", JobRequest{})
+	jnl.close()
+
+	// Simulate the torn append.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"done","job":"` + id + `","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jnl2, recs, err := openJournal(path, logger)
+	if err != nil {
+		t.Fatalf("torn journal failed to open: %v", err)
+	}
+	defer jnl2.close()
+	if len(recs) != 1 || recs[0].T != recSubmit || recs[0].Job != id {
+		t.Fatalf("replayed %+v, want the one intact submit", recs)
+	}
+	b := newJobStore()
+	b.restore(recs, nil)
+	if v, _ := b.get(id); v.Status != JobPending {
+		t.Fatalf("restored job: %+v (the torn done record must not apply)", v)
+	}
+}
+
+// TestBodyLimit413 pins the request-body cap: an over-limit POST is
+// rejected with 413, not 400, and the server keeps serving.
+func TestBodyLimit413(t *testing.T) {
+	_, ts := newTestServer(t)
+	huge := `{"driver": "fig9", "config": {"pad": "` + strings.Repeat("x", maxBodyBytes+1024) + `"}}`
+	for _, ep := range []string{"/v1/jobs", "/v1/run/fig9", "/v1/sweep", "/v1/run/fuzz", "/v1/run/program"} {
+		code, _, body := do(t, "POST", ts.URL+ep, huge)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s with %d-byte body: %d %.120s", ep, len(huge), code, body)
+		}
+	}
+	// A normal request still works afterwards.
+	if code, _, body := do(t, "POST", ts.URL+"/v1/run/fig9", "{}"); code != http.StatusOK {
+		t.Fatalf("run after oversized bodies: %d %s", code, body)
+	}
+}
+
+// TestSSEEventIDsAndReplay pins the SSE resume contract: events carry
+// monotonic ids, a reconnect with Last-Event-ID below the terminal id
+// replays exactly the terminal event, and a reconnect at the terminal id
+// replays nothing.
+func TestSSEEventIDsAndReplay(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	jobBody, _ := json.Marshal(map[string]any{"program": map[string]any{"asm": "halt"}})
+	code, _, body := do(t, "POST", ts.URL+"/v1/jobs", string(jobBody))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts.URL, view.ID)
+
+	// First subscription to the finished job: exactly one terminal event,
+	// carrying an id.
+	ids, names := readSSEWithIDs(t, ts.URL+"/v1/jobs/"+view.ID+"/events", "")
+	if len(names) != 1 || names[0] != JobDone {
+		t.Fatalf("events = %v, want single %q", names, JobDone)
+	}
+	if len(ids) != 1 || ids[0] == "" {
+		t.Fatalf("terminal event ids = %v, want one nonempty id", ids)
+	}
+	term := ids[0]
+
+	// Reconnect having missed the terminal event: it replays, same id.
+	ids2, names2 := readSSEWithIDs(t, ts.URL+"/v1/jobs/"+view.ID+"/events", "0")
+	if len(names2) != 1 || names2[0] != JobDone || ids2[0] != term {
+		t.Fatalf("replay = %v/%v, want %q with id %s", names2, ids2, JobDone, term)
+	}
+	// Reconnect having already seen it: empty stream, clean close.
+	ids3, names3 := readSSEWithIDs(t, ts.URL+"/v1/jobs/"+view.ID+"/events", term)
+	if len(names3) != 0 || len(ids3) != 0 {
+		t.Fatalf("caught-up reconnect replayed %v/%v, want nothing", names3, ids3)
+	}
+}
+
+// readSSEWithIDs consumes one SSE stream, returning parallel id and event
+// name slices.
+func readSSEWithIDs(t *testing.T, url, lastEventID string) (ids, names []string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var curID string
+	for sc.Scan() {
+		line := sc.Text()
+		if after, ok := strings.CutPrefix(line, "id: "); ok {
+			curID = after
+		}
+		if after, ok := strings.CutPrefix(line, "event: "); ok {
+			ids = append(ids, curID)
+			names = append(names, after)
+		}
+	}
+	return ids, names
+}
+
+// TestSSEWatcherCleanup: a subscriber that disconnects mid-job is detached
+// from the store — no watcher channels leak while the job keeps running.
+func TestSSEWatcherCleanup(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// A long fuzz campaign keeps the job running while clients come and go.
+	code, _, body := do(t, "POST", ts.URL+"/v1/jobs", `{"fuzz": {"seeds": 4000, "len": 64}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var view JobView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+
+	watchers := func() int {
+		s.jobs.mu.Lock()
+		defer s.jobs.mu.Unlock()
+		j, ok := s.jobs.jobs[view.ID]
+		if !ok {
+			return -1
+		}
+		return len(j.watchers)
+	}
+
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+view.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "watcher attached", func() bool { return watchers() >= 1 || terminalJobStatus(mustView(t, ts.URL, view.ID).Status) })
+		cancel()
+		resp.Body.Close()
+		waitFor(t, fmt.Sprintf("watcher %d detached", i), func() bool { return watchers() <= 0 })
+	}
+	if n := s.sseActive.Load(); n != 0 {
+		t.Fatalf("sse_streams_active = %d after disconnects, want 0", n)
+	}
+	do(t, "DELETE", ts.URL+"/v1/jobs/"+view.ID, "")
+}
+
+func mustView(t *testing.T, base, id string) JobView {
+	t.Helper()
+	_, _, body := do(t, "GET", base+"/v1/jobs/"+id, "")
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

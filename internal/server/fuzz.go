@@ -58,8 +58,8 @@ func runCampaign(ctx context.Context, spec difftest.CampaignSpec, opt sweep.Opti
 // figure drivers.
 func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
 	var req FuzzRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	spec, err := req.resolve()
@@ -91,25 +91,25 @@ func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
 
 // runFuzzJob executes a campaign asynchronously with per-seed progress,
 // sharing the result cache with the synchronous endpoint.
-func (s *Server) runFuzzJob(ctx context.Context, id string, req FuzzRequest) {
+func (s *Server) runFuzzJob(ctx context.Context, id string, attempt int, req FuzzRequest) {
 	spec, err := req.resolve()
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), false)
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
 		return
 	}
 	key, err := core.HashKey("fuzz", spec)
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), false)
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
 		return
 	}
 	if body, ok := s.cache.Get(key); ok {
-		s.jobs.finish(id, body, "", false)
+		s.jobs.finish(id, attempt, key, body, "", false)
 		return
 	}
 	s.simulations.Add(1)
 	rep, configs, runErr := runCampaign(sweep.WithGate(ctx, s.gate), spec, sweep.Options{
 		Workers:    req.Workers,
-		OnProgress: func(done, total int) { s.jobs.progress(id, done, total) },
+		OnProgress: func(done, total int) { s.jobs.progress(id, attempt, done, total) },
 	})
 	if runErr != nil {
 		cancelled := errors.Is(runErr, context.Canceled)
@@ -118,18 +118,18 @@ func (s *Server) runFuzzJob(ctx context.Context, id string, req FuzzRequest) {
 		// without letting it become the permanent cache entry.
 		if cancelled && configs > 0 {
 			if body, encErr := Encode(rep); encErr == nil {
-				s.jobs.finish(id, body, "", true)
+				s.jobs.finish(id, attempt, "", body, "", true)
 				return
 			}
 		}
-		s.jobs.finish(id, nil, runErr.Error(), cancelled)
+		s.jobs.finish(id, attempt, "", nil, runErr.Error(), cancelled)
 		return
 	}
 	body, err := Encode(rep)
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), false)
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
 		return
 	}
 	s.cache.Add(key, body)
-	s.jobs.finish(id, body, "", false)
+	s.jobs.finish(id, attempt, key, body, "", false)
 }

@@ -90,7 +90,7 @@ func TestFuzzJob(t *testing.T) {
 		if err := json.Unmarshal(body, &view); err != nil {
 			t.Fatal(err)
 		}
-		if view.Status != JobRunning {
+		if view.Status != JobRunning && view.Status != JobPending {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -140,7 +140,7 @@ func TestLeakJob(t *testing.T) {
 		if err := json.Unmarshal(body, &view); err != nil {
 			t.Fatal(err)
 		}
-		if view.Status != JobRunning {
+		if view.Status != JobRunning && view.Status != JobPending {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -3,16 +3,21 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"hash/fnv"
 	"log/slog"
+	"math"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
 
-// Job statuses.  Jobs start running immediately (the store is in-memory and
-// the worker budget, not a queue, bounds concurrency) and end in exactly one
-// of done, failed or cancelled.
+// Job statuses.  A job is born pending, is leased into running by the
+// scheduler (usually immediately — the worker budget, not the queue, bounds
+// concurrency), may bounce back to pending on a failed attempt or an
+// expired lease, and ends in exactly one of done, failed or cancelled.
 const (
+	JobPending   = "pending"
 	JobRunning   = "running"
 	JobDone      = "done"
 	JobFailed    = "failed"
@@ -31,6 +36,7 @@ type JobView struct {
 	Kind            string          `json:"kind"` // driver name, or "sweep"
 	Status          string          `json:"status"`
 	Progress        JobProgress     `json:"progress"`
+	Attempts        int             `json:"attempts,omitempty"` // execution leases taken so far
 	Error           string          `json:"error,omitempty"`
 	Result          json.RawMessage `json:"result,omitempty"` // present once done
 	SubmittedAt     time.Time       `json:"submitted_at"`
@@ -39,11 +45,89 @@ type JobView struct {
 
 // JobStats summarises the store for GET /v1/stats.
 type JobStats struct {
-	Submitted int `json:"submitted"`
-	Running   int `json:"running"`
-	Done      int `json:"done"`
-	Failed    int `json:"failed"`
-	Cancelled int `json:"cancelled"`
+	Submitted     int    `json:"submitted"`
+	Pending       int    `json:"pending"`
+	Running       int    `json:"running"`
+	Done          int    `json:"done"`
+	Failed        int    `json:"failed"`
+	Cancelled     int    `json:"cancelled"`
+	Retries       uint64 `json:"retries"`        // attempts re-queued after a failure
+	LeaseExpiries uint64 `json:"lease_expiries"` // leases reclaimed by the watchdog
+}
+
+// RetryPolicy governs re-execution of failed job attempts.  Every
+// simulation is deterministic and content-addressed, so re-running an
+// attempt is always safe (at-least-once semantics collapse to
+// exactly-once results); the policy only bounds how hard the server tries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of leases a job may consume,
+	// including the first (0 selects 3; 1 disables retries).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// BaseDelay is the backoff before the second attempt (0 = 250ms);
+	// each further attempt multiplies it by Multiplier (0 = 2), capped at
+	// MaxDelay (0 = 15s).
+	BaseDelay  time.Duration `json:"base_delay,omitempty"`
+	MaxDelay   time.Duration `json:"max_delay,omitempty"`
+	Multiplier float64       `json:"multiplier,omitempty"`
+	// Jitter spreads the delay by ±Jitter fraction, deterministically per
+	// (job, attempt) so schedules are reproducible (0 selects 0.2;
+	// negative disables).
+	Jitter float64 `json:"jitter,omitempty"`
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 250 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 15 * time.Second
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// delay returns the backoff after a failed attempt (attempt >= 1).  The
+// jitter is a hash of (jobID, attempt), not a random draw: restarting the
+// server reproduces the same schedule.
+func (p RetryPolicy) delay(jobID string, attempt int) time.Duration {
+	d := float64(p.BaseDelay) * math.Pow(p.Multiplier, float64(attempt-1))
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		h := fnv.New64a()
+		h.Write([]byte(jobID))
+		h.Write([]byte{':'})
+		h.Write([]byte(strconv.Itoa(attempt)))
+		f := float64(h.Sum64()%2048)/1024 - 1 // [-1, +1)
+		d *= 1 + f*p.Jitter
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// defaultLeaseTTL is how long an attempt may run without renewing its lease
+// (progress callbacks renew) before the watchdog reclaims the job.
+const defaultLeaseTTL = 60 * time.Second
+
+// jobEvent is one SSE-observable transition: a view snapshot tagged with
+// the job's monotonic sequence number (the SSE event id, so clients can
+// resume with Last-Event-ID).
+type jobEvent struct {
+	Seq  int
+	View JobView
 }
 
 type job struct {
@@ -53,30 +137,52 @@ type job struct {
 	done, total int
 	errText     string
 	result      []byte
+	cacheKey    string // content address of the result, when cached
 	cancel      context.CancelFunc
 	submitted   time.Time
 	finished    time.Time
-	// watchers receive view snapshots on every progress update; all are
-	// closed when the job leaves JobRunning (the SSE stream's end-of-job
-	// signal).  Sends never block: a slow subscriber misses intermediate
-	// snapshots, not the close.
-	watchers []chan JobView
+
+	// Durable-execution state: req re-dispatches the job on retry or
+	// resume; attempt counts leases taken; nextRunAt delays a retried
+	// pending job; leaseUntil is the running attempt's deadline;
+	// cancelRequested marks a user DELETE (vs a server shutdown); corrupt
+	// marks a journal-restored job whose request no longer parses.
+	req             JobRequest
+	attempt         int
+	nextRunAt       time.Time
+	leaseUntil      time.Time
+	cancelRequested bool
+	corrupt         bool
+
+	// seq numbers every observable transition; watchers receive tagged
+	// snapshots and are closed when the job reaches a terminal state.
+	// Sends never block: a slow subscriber misses intermediate snapshots,
+	// not the close.
+	seq      int
+	watchers []chan jobEvent
+}
+
+func (j *job) terminalStatus() bool {
+	return j.status != JobRunning && j.status != JobPending
 }
 
 // notify pushes the current view to every watcher and, on a terminal
-// transition, closes them (caller holds the store lock).
+// transition, closes them (caller holds the store lock).  The sequence
+// number advances even with no watchers, so SSE ids stay monotonic across
+// reconnects.
 func (j *job) notify() {
+	j.seq++
 	if len(j.watchers) == 0 {
 		return
 	}
-	v := j.view()
+	ev := jobEvent{Seq: j.seq, View: j.view()}
 	for _, ch := range j.watchers {
 		select {
-		case ch <- v:
+		case ch <- ev:
 		default:
 		}
 	}
-	if j.status != JobRunning {
+	if j.terminalStatus() {
 		for _, ch := range j.watchers {
 			close(ch)
 		}
@@ -85,32 +191,50 @@ func (j *job) notify() {
 }
 
 // maxJobs bounds the store: once exceeded, the oldest finished jobs (and
-// their result bodies) are dropped.  Running jobs are never evicted, so the
-// store can transiently exceed the bound under extreme concurrency, but a
-// long-lived server no longer accumulates every result ever computed.
+// their result bodies) are dropped.  Pending and running jobs are never
+// evicted, so the store can transiently exceed the bound under extreme
+// concurrency, but a long-lived server no longer accumulates every result
+// ever computed.
 const maxJobs = 256
 
-// jobStore is the in-memory async-job registry.
+// jobStore is the async-job registry: in-memory state of record, with an
+// optional append-only journal that makes submissions durable across
+// crashes.
 type jobStore struct {
 	mu        sync.Mutex
 	jobs      map[string]*job
-	order     []string // submission order for listing
+	order     []string // submission order for listing and scheduling
 	nextID    int
 	submitted int // lifetime submissions (survives eviction)
 
+	policy        RetryPolicy
+	leaseTTL      time.Duration
+	retries       uint64
+	leaseExpiries uint64
+
+	// journal, when set, records every lifecycle transition (nil = memory
+	// only).  Appends happen outside s.mu — the record is built under the
+	// lock, written after release — so journal IO never blocks the store.
+	journal *journal
+
 	// logger receives job lifecycle transitions; onTerminal fires exactly
-	// once per job, at the moment it leaves JobRunning (the server feeds
-	// the specrun_jobs_total metric through it).  Both are set at server
-	// construction, before any job exists.
+	// once per job, at the moment it reaches a terminal state (the server
+	// feeds the specrun_jobs_total metric through it).  Both are set at
+	// server construction, before any job exists.
 	logger     *slog.Logger
 	onTerminal func(kind, status string)
 }
 
 func newJobStore() *jobStore {
-	return &jobStore{jobs: make(map[string]*job), logger: slog.New(slog.DiscardHandler)}
+	return &jobStore{
+		jobs:     make(map[string]*job),
+		policy:   RetryPolicy{}.withDefaults(),
+		leaseTTL: defaultLeaseTTL,
+		logger:   slog.New(slog.DiscardHandler),
+	}
 }
 
-// terminal records a job's one transition out of JobRunning (caller holds
+// terminal records a job's transition into a terminal state (caller holds
 // s.mu and has already updated j).
 func (s *jobStore) terminal(j *job) {
 	s.logger.Info("job finished",
@@ -118,6 +242,7 @@ func (s *jobStore) terminal(j *job) {
 		"kind", j.kind,
 		"status", j.status,
 		"error", j.errText,
+		"attempts", j.attempt,
 		"duration_ms", float64(j.finished.Sub(j.submitted).Microseconds())/1000,
 	)
 	if s.onTerminal != nil {
@@ -125,24 +250,31 @@ func (s *jobStore) terminal(j *job) {
 	}
 }
 
-// create registers a new running job and returns its id.
-func (s *jobStore) create(kind string, cancel context.CancelFunc) string {
+// create registers a new pending job and returns its id.  The submit record
+// is fsynced: an acknowledged submission survives kill -9.
+func (s *jobStore) create(kind string, req JobRequest) string {
+	now := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nextID++
 	s.submitted++
 	id := "j" + strconv.Itoa(s.nextID)
 	s.jobs[id] = &job{
 		id:        id,
 		kind:      kind,
-		status:    JobRunning,
+		status:    JobPending,
 		total:     1,
-		cancel:    cancel,
-		submitted: time.Now(),
+		req:       req,
+		submitted: now,
 	}
 	s.order = append(s.order, id)
 	s.prune()
-	s.logger.Info("job started", "job", id, "kind", kind)
+	s.mu.Unlock()
+	s.logger.Info("job submitted", "job", id, "kind", kind)
+	raw, err := json.Marshal(req)
+	if err != nil {
+		raw = nil
+	}
+	s.journal.append(journalRecord{T: recSubmit, Job: id, At: nowMilli(now), Kind: kind, Req: raw}, true)
 	return id
 }
 
@@ -151,7 +283,7 @@ func (s *jobStore) prune() {
 	for len(s.order) > maxJobs {
 		evicted := false
 		for i, id := range s.order {
-			if s.jobs[id].status != JobRunning {
+			if s.jobs[id].terminalStatus() {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true
@@ -159,34 +291,127 @@ func (s *jobStore) prune() {
 			}
 		}
 		if !evicted {
-			return // everything is still running
+			return // everything is still pending or running
 		}
 	}
 }
 
-// progress updates the completed/total counters of a running job.
-func (s *jobStore) progress(id string, done, total int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if j, ok := s.jobs[id]; ok && j.status == JobRunning {
-		j.done, j.total = done, total
-		j.notify()
-	}
+// leasedJob is one granted execution lease: what the runner goroutine needs
+// to dispatch and to report back without racing a newer attempt.
+type leasedJob struct {
+	id      string
+	kind    string
+	attempt int
+	req     JobRequest
+	ctx     context.Context
+	cancel  context.CancelFunc
 }
 
-// watch subscribes to a job's lifecycle.  The returned channel yields view
-// snapshots on progress and is closed when the job reaches (or was already
-// in) a terminal state; read the final view with get.  The cancel function
-// detaches an abandoned subscription.
-func (s *jobStore) watch(id string) (<-chan JobView, func(), bool) {
+// leaseNext grants a lease on the earliest-submitted due pending job, if
+// any: the job moves to running, its attempt counter advances, and its
+// lease deadline starts.  newCtx builds the attempt's context while the
+// lock is held, so a concurrent cancel always finds the cancel func.
+func (s *jobStore) leaseNext(now time.Time, newCtx func() (context.Context, context.CancelFunc)) (leasedJob, bool) {
+	s.mu.Lock()
+	var pick *job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.status == JobPending && !j.corrupt && !j.nextRunAt.After(now) {
+			pick = j
+			break
+		}
+	}
+	if pick == nil {
+		s.mu.Unlock()
+		return leasedJob{}, false
+	}
+	ctx, cancel := newCtx()
+	pick.status = JobRunning
+	pick.attempt++
+	pick.leaseUntil = now.Add(s.leaseTTL)
+	pick.cancel = cancel
+	pick.notify()
+	lj := leasedJob{id: pick.id, kind: pick.kind, attempt: pick.attempt, req: pick.req, ctx: ctx, cancel: cancel}
+	s.mu.Unlock()
+	s.logger.Info("job leased", "job", lj.id, "kind", lj.kind, "attempt", lj.attempt)
+	s.journal.append(journalRecord{T: recLease, Job: lj.id, At: nowMilli(now), Attempt: lj.attempt}, false)
+	return lj, true
+}
+
+// reclaimExpired is the lease watchdog: every running job whose lease
+// deadline has passed is cancelled and either re-queued (attempts remain)
+// or failed.  The collected cancel funcs are returned for the caller to
+// invoke outside the lock.
+func (s *jobStore) reclaimExpired(now time.Time) []context.CancelFunc {
+	var cancels []context.CancelFunc
+	var recs []journalRecord
+	s.mu.Lock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.status != JobRunning || j.leaseUntil.IsZero() || !j.leaseUntil.Before(now) {
+			continue
+		}
+		s.leaseExpiries++
+		if j.cancel != nil {
+			cancels = append(cancels, j.cancel)
+			j.cancel = nil
+		}
+		if j.attempt < s.policy.MaxAttempts {
+			s.retries++
+			j.status = JobPending
+			j.errText = "lease expired on attempt " + strconv.Itoa(j.attempt)
+			j.nextRunAt = now.Add(s.policy.delay(j.id, j.attempt))
+			j.leaseUntil = time.Time{}
+			recs = append(recs, journalRecord{
+				T: recRetry, Job: id, At: nowMilli(now),
+				Attempt: j.attempt, Error: j.errText, Next: nowMilli(j.nextRunAt),
+			})
+			s.logger.Warn("job lease expired; requeued", "job", id, "attempt", j.attempt, "next_run", j.nextRunAt)
+		} else {
+			j.status = JobFailed
+			j.finished = now
+			j.errText = "lease expired after " + strconv.Itoa(j.attempt) + " attempts"
+			recs = append(recs, journalRecord{T: recFailed, Job: id, At: nowMilli(now), Error: j.errText})
+			s.terminal(j)
+			s.logger.Warn("job lease expired; attempts exhausted", "job", id, "attempts", j.attempt)
+		}
+		j.notify()
+	}
+	s.mu.Unlock()
+	for _, r := range recs {
+		s.journal.append(r, r.T == recFailed)
+	}
+	return cancels
+}
+
+// progress updates the completed/total counters of a running attempt and
+// renews its lease — progress is the heartbeat.  Stale attempts (a newer
+// lease exists) are ignored.
+func (s *jobStore) progress(id string, attempt, done, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.status != JobRunning || j.attempt != attempt {
+		return
+	}
+	j.done, j.total = done, total
+	j.leaseUntil = time.Now().Add(s.leaseTTL)
+	j.notify()
+}
+
+// watch subscribes to a job's lifecycle.  The returned channel yields
+// sequence-tagged view snapshots on every transition and is closed when the
+// job reaches (or was already in) a terminal state; read the final view
+// with viewSeq.  The cancel function detaches an abandoned subscription.
+func (s *jobStore) watch(id string) (<-chan jobEvent, func(), bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
 		return nil, nil, false
 	}
-	ch := make(chan JobView, 16)
-	if j.status != JobRunning {
+	ch := make(chan jobEvent, 16)
+	if j.terminalStatus() {
 		close(ch) // already terminal: subscribers go straight to the final view
 		return ch, func() {}, true
 	}
@@ -204,43 +429,89 @@ func (s *jobStore) watch(id string) (<-chan JobView, func(), bool) {
 	return ch, cancel, true
 }
 
-// finish moves a job to its terminal state.  A job already cancelled stays
-// cancelled — DELETE won the race — but a successful result is still
-// attached, since the simulation did complete.
-func (s *jobStore) finish(id string, result []byte, errText string, cancelled bool) {
+// finish reports the outcome of one attempt.  Stale reports — the job was
+// cancelled, or the watchdog already re-leased it — are dropped, except
+// that a partial result may still attach to a cancelled job (the
+// simulation's completed points are real).  A failed attempt re-queues the
+// job with backoff while attempts remain; terminal transitions journal
+// with fsync.
+func (s *jobStore) finish(id string, attempt int, key string, result []byte, errText string, cancelled bool) {
+	now := time.Now()
+	var rec *journalRecord
+	fsyncRec := false
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return
 	}
-	wasRunning := j.status == JobRunning
-	j.finished = time.Now()
+	if j.status != JobRunning || j.attempt != attempt {
+		// DELETE won the race: keep the cancelled status but attach the
+		// partial result the runner salvaged.
+		if j.status == JobCancelled && j.attempt == attempt && len(result) > 0 && len(j.result) == 0 {
+			j.result = result
+		}
+		s.mu.Unlock()
+		return
+	}
 	switch {
-	case j.status == JobCancelled || cancelled:
+	case cancelled && !j.cancelRequested && s.journal != nil:
+		// Shutdown-cancel on a durable store: leave the lease on the
+		// journal so the next boot reclaims the job as pending.  This
+		// process is exiting; its in-memory "running" status dies with it.
+		s.mu.Unlock()
+		return
+	case cancelled:
 		j.status = JobCancelled
+		j.finished = now
+		j.result = result
+		rec = &journalRecord{T: recCancelled, Job: id, At: nowMilli(now)}
+		fsyncRec = true
+		s.terminal(j)
+	case errText != "" && j.attempt < s.policy.MaxAttempts:
+		s.retries++
+		j.status = JobPending
+		j.errText = errText
+		j.nextRunAt = now.Add(s.policy.delay(id, j.attempt))
+		j.leaseUntil = time.Time{}
+		j.cancel = nil
+		rec = &journalRecord{
+			T: recRetry, Job: id, At: nowMilli(now),
+			Attempt: j.attempt, Error: errText, Next: nowMilli(j.nextRunAt),
+		}
+		s.logger.Warn("job attempt failed; requeued", "job", id, "attempt", j.attempt, "error", errText, "next_run", j.nextRunAt)
 	case errText != "":
 		j.status = JobFailed
+		j.finished = now
 		j.errText = errText
-		if wasRunning {
-			s.terminal(j)
-		}
-		j.notify()
-		return
+		rec = &journalRecord{T: recFailed, Job: id, At: nowMilli(now), Error: errText}
+		fsyncRec = true
+		s.terminal(j)
 	default:
 		j.status = JobDone
+		j.finished = now
+		j.errText = ""
 		j.done = j.total
-	}
-	j.result = result
-	if wasRunning {
+		j.result = result
+		j.cacheKey = key
+		rec = &journalRecord{T: recDone, Job: id, At: nowMilli(now), Key: key}
+		if len(result) <= journalInlineResultMax {
+			rec.Result = result
+		}
+		fsyncRec = true
 		s.terminal(j)
 	}
 	j.notify()
+	s.mu.Unlock()
+	if rec != nil {
+		s.journal.append(*rec, fsyncRec)
+	}
 }
 
-// cancelJob cancels a running job.  It reports whether the id exists; a job
-// already in a terminal state is left untouched.
+// cancelJob cancels a pending or running job.  It reports whether the id
+// exists; a job already in a terminal state is left untouched.
 func (s *jobStore) cancelJob(id string) (JobView, bool) {
+	now := time.Now()
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	if !ok {
@@ -248,22 +519,173 @@ func (s *jobStore) cancelJob(id string) (JobView, bool) {
 		return JobView{}, false
 	}
 	var cancel context.CancelFunc
-	if j.status == JobRunning {
+	var rec *journalRecord
+	if !j.terminalStatus() {
+		j.cancelRequested = true
 		j.status = JobCancelled
-		j.finished = time.Now()
+		j.finished = now
 		cancel = j.cancel
+		j.cancel = nil
 		s.terminal(j)
 		j.notify()
+		rec = &journalRecord{T: recCancelled, Job: id, At: nowMilli(now)}
 	}
 	v := j.view()
 	s.mu.Unlock()
 	if cancel != nil {
 		cancel()
 	}
+	if rec != nil {
+		s.journal.append(*rec, true)
+	}
 	return v, true
 }
 
-// view snapshots one job (nil cancel-func race is impossible: callers hold s.mu).
+// restore rebuilds the store from replayed journal records (called once at
+// startup, before the journal is attached and before any scheduling).  Jobs
+// whose last record is a lease were running when the previous process died:
+// they re-queue as pending — unless that lease was their final permitted
+// attempt.  Completed jobs restore as done and are never re-leased; a done
+// record without an inline result recovers it from the cache via lookup.
+func (s *jobStore) restore(recs []journalRecord, lookup func(key string) ([]byte, bool)) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		j := s.jobs[rec.Job]
+		if rec.T == recSubmit {
+			if j != nil {
+				continue // duplicate submit: first record wins
+			}
+			j = &job{
+				id:        rec.Job,
+				kind:      rec.Kind,
+				status:    JobPending,
+				total:     1,
+				submitted: time.UnixMilli(rec.At),
+			}
+			if len(rec.Req) == 0 || json.Unmarshal(rec.Req, &j.req) != nil {
+				j.corrupt = true
+				j.status = JobFailed
+				j.finished = now
+				j.errText = "journal: job request no longer parses"
+				s.logger.Warn("journal: dropping unreadable job request", "job", rec.Job)
+			}
+			s.jobs[rec.Job] = j
+			s.order = append(s.order, rec.Job)
+			s.submitted++
+			if n, err := strconv.Atoi(strings.TrimPrefix(rec.Job, "j")); err == nil && n > s.nextID {
+				s.nextID = n
+			}
+			continue
+		}
+		if j == nil || j.corrupt {
+			continue
+		}
+		switch rec.T {
+		case recLease:
+			j.attempt = rec.Attempt
+			if j.attempt >= s.policy.MaxAttempts {
+				j.status = JobFailed
+				j.finished = now
+				j.errText = "crashed during final attempt " + strconv.Itoa(j.attempt)
+			} else {
+				j.status = JobPending
+				j.errText = "interrupted on attempt " + strconv.Itoa(j.attempt)
+				j.nextRunAt = time.Time{}
+			}
+		case recRetry:
+			j.status = JobPending
+			j.attempt = rec.Attempt
+			j.errText = rec.Error
+			j.nextRunAt = time.UnixMilli(rec.Next)
+		case recDone:
+			j.status = JobDone
+			j.finished = time.UnixMilli(rec.At)
+			j.errText = ""
+			j.done = j.total
+			j.cacheKey = rec.Key
+			j.result = rec.Result
+			if len(j.result) == 0 && rec.Key != "" && lookup != nil {
+				if b, ok := lookup(rec.Key); ok {
+					j.result = b
+				}
+			}
+		case recFailed:
+			j.status = JobFailed
+			j.finished = time.UnixMilli(rec.At)
+			j.errText = rec.Error
+		case recCancelled:
+			j.status = JobCancelled
+			j.finished = time.UnixMilli(rec.At)
+		}
+	}
+	s.prune()
+	var pending, terminalCount int
+	for _, j := range s.jobs {
+		if j.status == JobPending {
+			pending++
+		} else if j.terminalStatus() {
+			terminalCount++
+		}
+	}
+	if len(s.jobs) > 0 {
+		s.logger.Info("journal: restored jobs", "total", len(s.jobs), "pending", pending, "terminal", terminalCount)
+	}
+}
+
+// snapshotRecords serialises the store back into minimal journal records —
+// the compaction image written at startup, which drops evicted jobs and
+// collapses each survivor to at most two records.
+func (s *jobStore) snapshotRecords() []journalRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]journalRecord, 0, 2*len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		raw, err := json.Marshal(j.req)
+		if err != nil {
+			raw = nil
+		}
+		out = append(out, journalRecord{T: recSubmit, Job: id, At: nowMilli(j.submitted), Kind: j.kind, Req: raw})
+		switch j.status {
+		case JobPending:
+			if j.attempt > 0 {
+				out = append(out, journalRecord{
+					T: recRetry, Job: id, At: nowMilli(j.submitted),
+					Attempt: j.attempt, Error: j.errText, Next: nowMilli(j.nextRunAt),
+				})
+			}
+		case JobRunning:
+			out = append(out, journalRecord{T: recLease, Job: id, Attempt: j.attempt})
+		case JobDone:
+			rec := journalRecord{T: recDone, Job: id, At: nowMilli(j.finished), Key: j.cacheKey}
+			if len(j.result) <= journalInlineResultMax {
+				rec.Result = j.result
+			}
+			out = append(out, rec)
+		case JobFailed:
+			out = append(out, journalRecord{T: recFailed, Job: id, At: nowMilli(j.finished), Error: j.errText})
+		case JobCancelled:
+			out = append(out, journalRecord{T: recCancelled, Job: id, At: nowMilli(j.finished)})
+		}
+	}
+	return out
+}
+
+func (s *jobStore) closeJournal() {
+	s.journal.close()
+}
+
+// journalCounters reports (records appended, write errors) for metrics.
+func (s *jobStore) journalCounters() (uint64, uint64) {
+	if s.journal == nil {
+		return 0, 0
+	}
+	return s.journal.records.Load(), s.journal.writeErrs.Load()
+}
+
+// view snapshots one job (caller holds s.mu).
 func (j *job) view() JobView {
 	end := j.finished
 	if end.IsZero() {
@@ -274,6 +696,7 @@ func (j *job) view() JobView {
 		Kind:            j.kind,
 		Status:          j.status,
 		Progress:        JobProgress{Done: j.done, Total: j.total},
+		Attempts:        j.attempt,
 		Error:           j.errText,
 		Result:          json.RawMessage(j.result),
 		SubmittedAt:     j.submitted,
@@ -290,6 +713,18 @@ func (s *jobStore) get(id string) (JobView, bool) {
 		return JobView{}, false
 	}
 	return j.view(), true
+}
+
+// viewSeq snapshots a job together with its event sequence number (the SSE
+// handler's Last-Event-ID replay anchor).
+func (s *jobStore) viewSeq(id string) (JobView, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, 0, false
+	}
+	return j.view(), j.seq, true
 }
 
 // list snapshots every job in submission order, without results (a listing
@@ -310,9 +745,15 @@ func (s *jobStore) list() []JobView {
 func (s *jobStore) stats() JobStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := JobStats{Submitted: s.submitted}
+	st := JobStats{
+		Submitted:     s.submitted,
+		Retries:       s.retries,
+		LeaseExpiries: s.leaseExpiries,
+	}
 	for _, j := range s.jobs {
 		switch j.status {
+		case JobPending:
+			st.Pending++
 		case JobRunning:
 			st.Running++
 		case JobDone:

@@ -9,7 +9,9 @@ import (
 	"specrun/internal/core"
 	"specrun/internal/cpu"
 	"specrun/internal/difftest"
+	"specrun/internal/faultinject"
 	"specrun/internal/metrics"
+	"specrun/internal/rescache"
 )
 
 // serverMetrics is the instrument set behind GET /metrics.  Request-path
@@ -57,6 +59,21 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.GaugeFunc("specrun_jobs_running",
 		"Async jobs currently executing.",
 		func() float64 { return float64(s.jobs.stats().Running) })
+	r.GaugeFunc("specrun_jobs_pending",
+		"Async jobs queued (submitted, awaiting a lease, or backing off before a retry).",
+		func() float64 { return float64(s.jobs.stats().Pending) })
+	r.CounterFunc("specrun_job_retries_total",
+		"Failed job attempts re-queued under the retry policy.",
+		func() uint64 { return s.jobs.stats().Retries })
+	r.CounterFunc("specrun_job_lease_expiries_total",
+		"Job leases reclaimed by the watchdog after the holder stopped reporting progress.",
+		func() uint64 { return s.jobs.stats().LeaseExpiries })
+	r.CounterFunc("specrun_journal_records_total",
+		"Job-journal records appended this process.",
+		func() uint64 { n, _ := s.jobs.journalCounters(); return n })
+	r.CounterFunc("specrun_journal_write_errors_total",
+		"Job-journal appends or fsyncs that failed (durability degraded for those records).",
+		func() uint64 { _, n := s.jobs.journalCounters(); return n })
 	r.GaugeFunc("specrun_sse_streams_active",
 		"Server-sent-event job streams currently open (GET /v1/jobs/{id}/events).",
 		func() float64 { return float64(s.sseActive.Load()) })
@@ -76,6 +93,67 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.GaugeFunc("specrun_cache_entries",
 		"Result-cache entries currently resident.",
 		func() float64 { return float64(s.cache.Stats().Entries) })
+
+	// Disk-tier instruments read zero until AttachDisk succeeds; the
+	// degraded gauge flips to 1 when a configured disk tier failed to
+	// attach and the cache fell back to memory only.
+	disk := func(f func(*rescache.DiskStats) uint64) func() uint64 {
+		return func() uint64 {
+			if d := s.cache.Stats().Disk; d != nil {
+				return f(d)
+			}
+			return 0
+		}
+	}
+	r.CounterFunc("specrun_cache_disk_hits_total",
+		"Result-cache lookups served from the disk tier.",
+		disk(func(d *rescache.DiskStats) uint64 { return d.Hits }))
+	r.CounterFunc("specrun_cache_disk_misses_total",
+		"Disk-tier probes that found no entry.",
+		disk(func(d *rescache.DiskStats) uint64 { return d.Misses }))
+	r.CounterFunc("specrun_cache_disk_writes_total",
+		"Entries persisted to the disk tier.",
+		disk(func(d *rescache.DiskStats) uint64 { return d.Writes }))
+	r.CounterFunc("specrun_cache_disk_write_errors_total",
+		"Disk-tier writes that failed (entry stays memory-only).",
+		disk(func(d *rescache.DiskStats) uint64 { return d.WriteErrors }))
+	r.CounterFunc("specrun_cache_disk_read_errors_total",
+		"Disk-tier reads that failed (served as misses).",
+		disk(func(d *rescache.DiskStats) uint64 { return d.ReadErrors }))
+	r.CounterFunc("specrun_cache_disk_quarantined_total",
+		"Disk-tier entries moved to quarantine after a checksum mismatch.",
+		disk(func(d *rescache.DiskStats) uint64 { return d.Quarantined }))
+	r.CounterFunc("specrun_cache_disk_evictions_total",
+		"Disk-tier entries evicted by the size bound.",
+		disk(func(d *rescache.DiskStats) uint64 { return d.Evictions }))
+	r.GaugeFunc("specrun_cache_disk_bytes",
+		"Bytes resident in the disk tier.",
+		func() float64 {
+			if d := s.cache.Stats().Disk; d != nil {
+				return float64(d.Bytes)
+			}
+			return 0
+		})
+	r.GaugeFunc("specrun_cache_disk_entries",
+		"Entries resident in the disk tier.",
+		func() float64 {
+			if d := s.cache.Stats().Disk; d != nil {
+				return float64(d.Entries)
+			}
+			return 0
+		})
+	r.GaugeFunc("specrun_cache_disk_degraded",
+		"1 when a configured disk cache failed to attach and the server fell back to memory only.",
+		func() float64 {
+			if d := s.cache.Stats().Disk; d != nil && d.Degraded {
+				return 1
+			}
+			return 0
+		})
+
+	r.CounterFunc("specrun_faults_injected_total",
+		"Fault-injection points fired (0 unless SPECRUN_FAULTS enables the chaos harness).",
+		faultinject.Fired)
 
 	r.GaugeFunc("specrun_gate_capacity",
 		"Server-wide simulation worker budget.",

@@ -107,7 +107,7 @@ func waitJob(t *testing.T, base, id string) JobView {
 		if err := json.Unmarshal(body, &v); err != nil {
 			t.Fatal(err)
 		}
-		if v.Status != JobRunning {
+		if v.Status != JobRunning && v.Status != JobPending {
 			return v
 		}
 		if time.Now().After(deadline) {
@@ -228,9 +228,14 @@ func TestRequestAndJobLogging(t *testing.T) {
 			return r["route"] == "GET /v1/jobs/{id}" && r["job"] == view.ID
 		}) != nil
 	})
-	waitFor(t, "job started log", func() bool {
-		return sink.find("job started", func(r map[string]any) bool {
+	waitFor(t, "job submitted log", func() bool {
+		return sink.find("job submitted", func(r map[string]any) bool {
 			return r["job"] == view.ID && r["kind"] == "fig9"
+		}) != nil
+	})
+	waitFor(t, "job leased log", func() bool {
+		return sink.find("job leased", func(r map[string]any) bool {
+			return r["job"] == view.ID && r["attempt"] == float64(1)
 		}) != nil
 	})
 	waitFor(t, "job finished log", func() bool {

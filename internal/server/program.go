@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"specrun/internal/asm"
 	"specrun/internal/core"
@@ -136,9 +137,9 @@ func (s *Server) runProgram(ctx context.Context, rp resolvedProgram, onProgress 
 
 func (s *Server) handleRunProgram(w http.ResponseWriter, r *http.Request) {
 	var req ProgramRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBody(w, r, &req); err != nil {
 		s.metrics.programSubs.With("unknown", "invalid").Inc()
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeBodyError(w, err)
 		return
 	}
 	rp, err := req.resolve()
@@ -172,36 +173,36 @@ func (s *Server) handleRunProgram(w http.ResponseWriter, r *http.Request) {
 // runProgramJob executes a program submission asynchronously with
 // megacycle-granularity progress (the SSE stream's event source), sharing
 // the result cache with the synchronous endpoint.
-func (s *Server) runProgramJob(ctx context.Context, id string, rp resolvedProgram) {
+func (s *Server) runProgramJob(ctx context.Context, id string, attempt int, rp resolvedProgram) {
 	const mega = 1_000_000
 	key, err := rp.cacheKey()
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), false)
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
 		return
 	}
-	s.jobs.progress(id, 0, int(rp.budget/mega))
+	s.jobs.progress(id, attempt, 0, int(rp.budget/mega))
 	if body, ok := s.cache.Get(key); ok {
 		s.metrics.programSubs.With(rp.format, "ok").Inc()
-		s.jobs.finish(id, body, "", false)
+		s.jobs.finish(id, attempt, key, body, "", false)
 		return
 	}
 	s.simulations.Add(1)
 	res, err := s.runProgram(sweep.WithGate(ctx, s.gate), rp, func(cycles, budget uint64) {
-		s.jobs.progress(id, int(cycles/mega), int(budget/mega))
+		s.jobs.progress(id, attempt, int(cycles/mega), int(budget/mega))
 	})
 	if err != nil {
 		s.metrics.programSubs.With(rp.format, "error").Inc()
-		s.jobs.finish(id, nil, err.Error(), errors.Is(err, context.Canceled))
+		s.jobs.finish(id, attempt, "", nil, err.Error(), errors.Is(err, context.Canceled))
 		return
 	}
 	body, err := Encode(res)
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), false)
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
 		return
 	}
 	s.cache.Add(key, body)
 	s.metrics.programSubs.With(rp.format, "ok").Inc()
-	s.jobs.finish(id, body, "", false)
+	s.jobs.finish(id, attempt, key, body, "", false)
 }
 
 // handleJobEvents streams a job's lifecycle as Server-Sent Events
@@ -209,6 +210,11 @@ func (s *Server) runProgramJob(ctx context.Context, id string, rp resolvedProgra
 // it runs, then exactly one terminal event named after the final status
 // (done / failed / cancelled), then the stream closes.  Event payloads omit
 // the result body — clients fetch GET /v1/jobs/{id}/result once done.
+//
+// Every event carries a monotonic per-job id, so a client that reconnects
+// with Last-Event-ID never sees the terminal event twice: a reconnect after
+// the terminal id yields an immediately-closed, empty stream, while a
+// reconnect that missed the terminal event replays it.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ch, stop, ok := s.jobs.watch(id)
@@ -218,6 +224,13 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	defer stop()
 
+	lastID := -1
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			lastID = n
+		}
+	}
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -225,13 +238,13 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	s.sseActive.Add(1)
 	defer s.sseActive.Add(-1)
 
-	send := func(event string, v JobView) bool {
+	send := func(event string, seq int, v JobView) bool {
 		v.Result = nil
 		b, err := json.Marshal(v)
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, event, b); err != nil {
 			return false
 		}
 		if fl != nil {
@@ -242,8 +255,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 	// Immediate snapshot, so a subscriber sees state without waiting for
 	// the next progress update.
-	if view, live := s.jobs.get(id); live && view.Status == JobRunning {
-		if !send("progress", view) {
+	if view, seq, live := s.jobs.viewSeq(id); live && !terminalJobStatus(view.Status) && seq > lastID {
+		if !send("progress", seq, view) {
 			return
 		}
 	}
@@ -251,17 +264,23 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case v, open := <-ch:
+		case ev, open := <-ch:
 			if !open {
-				// Terminal: emit the final view under its status name.
-				if final, live := s.jobs.get(id); live {
-					send(final.Status, final)
+				// Terminal: emit the final view under its status name,
+				// unless the client already received it (Last-Event-ID).
+				if final, seq, live := s.jobs.viewSeq(id); live && seq > lastID {
+					send(final.Status, seq, final)
 				}
 				return
 			}
-			if v.Status == JobRunning && !send("progress", v) {
+			if !terminalJobStatus(ev.View.Status) && !send("progress", ev.Seq, ev.View) {
 				return
 			}
 		}
 	}
+}
+
+// terminalJobStatus reports whether a wire status is terminal.
+func terminalJobStatus(status string) bool {
+	return status != JobRunning && status != JobPending
 }

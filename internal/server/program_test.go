@@ -212,7 +212,7 @@ func TestJobEventsTerminalAndUnknown(t *testing.T) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		v, ok := s.jobs.get(view.ID)
-		if ok && v.Status != JobRunning {
+		if ok && v.Status != JobRunning && v.Status != JobPending {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -24,6 +24,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"specrun/internal/core"
 	"specrun/internal/cpu"
 	"specrun/internal/difftest"
+	"specrun/internal/faultinject"
 	"specrun/internal/rescache"
 	"specrun/internal/sweep"
 )
@@ -49,6 +51,28 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.  Off by
 	// default: the profiler exposes stack traces and should be opted into.
 	EnablePprof bool
+
+	// DataDir enables the durable tier: a disk-backed result cache under
+	// <dir>/cache and an append-only job journal at <dir>/jobs.jsonl.
+	// Jobs submitted before a crash resume on the next boot; results
+	// survive restarts.  Empty = memory only.  If the directory is
+	// unusable the server degrades to memory-only with a logged warning —
+	// it never refuses to start.
+	DataDir string
+	// DiskCacheBytes bounds the disk cache (0 = 256 MiB).
+	DiskCacheBytes int64
+	// LeaseTTL is how long a job attempt may run without reporting
+	// progress before the watchdog reclaims it (0 = 60s).
+	LeaseTTL time.Duration
+	// JobTimeout bounds a single job attempt end to end (0 = unbounded).
+	// A timed-out attempt is retried under the Retry policy.
+	JobTimeout time.Duration
+	// Retry governs re-execution of failed job attempts (zero values
+	// select the defaults documented on RetryPolicy).
+	Retry RetryPolicy
+	// SchedInterval is the scheduler tick driving retries, resumes and
+	// lease reclaim (0 = 500ms).  Tests shrink it.
+	SchedInterval time.Duration
 }
 
 // Server is the simulation service.  Create with New, mount Handler on an
@@ -70,7 +94,10 @@ type Server struct {
 	sseActive   atomic.Int64  // open SSE event streams (GET /v1/jobs/{id}/events)
 }
 
-// New builds a Server.
+// New builds a Server.  With Options.DataDir set, the durable tier attaches
+// here: the disk cache is scanned, the job journal replayed and compacted,
+// and interrupted jobs re-queued; the scheduler goroutine then resumes
+// them.  Durability failures degrade to memory-only — New never fails.
 func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	logger := opts.Logger
@@ -92,12 +119,142 @@ func New(opts Options) *Server {
 	s.jobs.onTerminal = func(kind, status string) {
 		s.metrics.jobsTotal.With(kind, status).Inc()
 	}
+	s.jobs.policy = opts.Retry.withDefaults()
+	if opts.LeaseTTL > 0 {
+		s.jobs.leaseTTL = opts.LeaseTTL
+	}
+	if opts.DataDir != "" {
+		// AttachDisk logs its own warning on failure and the cache keeps
+		// serving from memory; the Degraded flag surfaces in /v1/stats.
+		_ = s.cache.AttachDisk(rescache.DiskOptions{
+			Dir:      filepath.Join(opts.DataDir, "cache"),
+			MaxBytes: opts.DiskCacheBytes,
+			Logger:   logger,
+		})
+		jnl, recs, err := openJournal(filepath.Join(opts.DataDir, "jobs.jsonl"), logger)
+		if err != nil {
+			logger.Warn("job journal unavailable; jobs are not durable", "error", err)
+		} else {
+			s.jobs.restore(recs, s.cache.Get)
+			if err := jnl.rewrite(s.jobs.snapshotRecords()); err != nil {
+				logger.Warn("journal compaction failed; appending to existing journal", "error", err)
+			}
+			s.jobs.journal = jnl
+		}
+	}
+	go s.schedule()
 	return s
 }
 
-// Close cancels the server's base context: running jobs and in-flight
-// computations observe cancellation and wind down.
-func (s *Server) Close() { s.stop() }
+// Close cancels the server's base context — running jobs and in-flight
+// computations observe cancellation and wind down — and closes the journal.
+// With a durable store, leased jobs are deliberately NOT journaled as
+// cancelled: their last record stays the lease, so the next boot reclaims
+// and re-runs them.
+func (s *Server) Close() {
+	s.stop()
+	s.jobs.closeJournal()
+}
+
+// Drain blocks until no job is pending or running, or ctx expires (whose
+// error it returns).  With a durable store, a bounded drain is safe: jobs
+// still queued at the deadline are journaled and resume on the next boot.
+func (s *Server) Drain(ctx context.Context) error {
+	t := time.NewTicker(25 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if st := s.jobs.stats(); st.Running == 0 && st.Pending == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// schedule is the job scheduler loop: an immediate pump resumes journaled
+// work at boot, then the ticker drives lease reclaim and delayed retries.
+// Submissions pump synchronously, so the tick is a backstop, not the
+// dispatch latency.
+func (s *Server) schedule() {
+	interval := s.opts.SchedInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	s.pump(time.Now())
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-t.C:
+			s.pump(now)
+		}
+	}
+}
+
+// pump advances the scheduler once: reclaim expired leases, then lease
+// every due pending job onto its own runner goroutine (the gate, not the
+// lease count, bounds actual simulation concurrency).
+func (s *Server) pump(now time.Time) {
+	for _, cancel := range s.jobs.reclaimExpired(now) {
+		cancel()
+	}
+	for {
+		lj, ok := s.jobs.leaseNext(now, func() (context.Context, context.CancelFunc) {
+			return context.WithCancel(s.baseCtx)
+		})
+		if !ok {
+			return
+		}
+		go s.runAttempt(lj)
+	}
+}
+
+// runAttempt executes one leased attempt under the per-job timeout.
+func (s *Server) runAttempt(lj leasedJob) {
+	defer lj.cancel()
+	ctx := lj.ctx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
+	// An injected stall blocks here — before any progress heartbeat can
+	// renew the lease — so the watchdog observes the expiry and reclaims
+	// the job, exactly the hung-worker failure mode it exists for.
+	faultinject.Stall(ctx, faultinject.JobStall)
+	s.executeJob(ctx, lj)
+}
+
+// executeJob dispatches a normalized request (exactly one arm set — see
+// normalizeJob) to its runner.  Requests replayed from the journal take
+// this same path, so resume is ordinary execution.
+func (s *Server) executeJob(ctx context.Context, lj leasedJob) {
+	switch {
+	case lj.req.Program != nil:
+		rp, err := lj.req.Program.resolve()
+		if err != nil {
+			s.jobs.finish(lj.id, lj.attempt, "", nil, err.Error(), false)
+			return
+		}
+		s.runProgramJob(ctx, lj.id, lj.attempt, rp)
+	case lj.req.Fuzz != nil:
+		s.runFuzzJob(ctx, lj.id, lj.attempt, *lj.req.Fuzz)
+	case lj.req.Sweep != nil:
+		s.runSweepJob(ctx, lj.id, lj.attempt, *lj.req.Sweep)
+	default:
+		d, ok := DriverByName(lj.req.Driver)
+		if !ok {
+			s.jobs.finish(lj.id, lj.attempt, "", nil, fmt.Sprintf("unknown driver %q", lj.req.Driver), false)
+			return
+		}
+		s.runDriverJob(ctx, lj.id, lj.attempt, d, lj.req.RunRequest)
+	}
+}
 
 // Handler returns the routed HTTP handler.  Every route is mounted through
 // s.handle, which layers per-route metrics and request logging (Go's
@@ -148,8 +305,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RunRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	cfg, p, err := req.resolve()
@@ -181,8 +338,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var spec SweepSpec
-	if err := decodeBody(r, &spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeBody(w, r, &spec); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	// Validate up front: a bad grid is a 400, and it must not count as (or
@@ -239,8 +396,8 @@ type JobRequest struct {
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	view, err := s.startJob(req)
@@ -251,41 +408,51 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, view)
 }
 
-// startJob validates the request, registers the job and launches its
-// runner goroutine.
+// startJob validates and normalizes the request, registers the job
+// (journaled when durable) and pumps the scheduler so the returned view
+// reflects the immediately-leased attempt.
 func (s *Server) startJob(req JobRequest) (JobView, error) {
+	kind, err := s.normalizeJob(&req)
+	if err != nil {
+		return JobView{}, err
+	}
+	id := s.jobs.create(kind, req)
+	s.pump(time.Now())
+	view, _ := s.jobs.get(id)
+	return view, nil
+}
+
+// normalizeJob validates req and rewrites it into the canonical form the
+// journal persists and executeJob dispatches on — exactly one of
+// Program / Fuzz / Sweep / Driver populated, aliases and worker defaults
+// folded in — returning the job kind.  Validation happens here, before the
+// job is accepted, so a bad document 400s instead of surfacing as a failed
+// (and pointlessly retried) job.
+func (s *Server) normalizeJob(req *JobRequest) (string, error) {
 	if req.Program != nil || req.Driver == "program" {
 		if req.Driver != "" && req.Driver != "program" {
-			return JobView{}, fmt.Errorf("job: driver %q conflicts with program spec", req.Driver)
+			return "", fmt.Errorf("job: driver %q conflicts with program spec", req.Driver)
 		}
 		if req.Sweep != nil || req.Fuzz != nil {
-			return JobView{}, fmt.Errorf("job: program and sweep/fuzz specs conflict")
+			return "", fmt.Errorf("job: program and sweep/fuzz specs conflict")
 		}
 		if req.Program == nil {
-			return JobView{}, fmt.Errorf("job: driver %q requires a program spec", req.Driver)
+			return "", fmt.Errorf("job: driver %q requires a program spec", req.Driver)
 		}
-		// Validate before accepting, so a bad program 400s instead of
-		// surfacing as a failed job.
 		rp, err := req.Program.resolve()
 		if err != nil {
 			s.metrics.programSubs.With(rp.format, "invalid").Inc()
-			return JobView{}, err
+			return "", err
 		}
-		ctx, cancel := context.WithCancel(s.baseCtx)
-		id := s.jobs.create("program", cancel)
-		go func() {
-			defer cancel()
-			s.runProgramJob(ctx, id, rp)
-		}()
-		view, _ := s.jobs.get(id)
-		return view, nil
+		req.Driver = ""
+		return "program", nil
 	}
 	if req.Fuzz != nil || req.Driver == "fuzz" || req.Driver == "leaks" {
 		if req.Driver != "" && req.Driver != "fuzz" && req.Driver != "leaks" {
-			return JobView{}, fmt.Errorf("job: driver %q conflicts with fuzz spec", req.Driver)
+			return "", fmt.Errorf("job: driver %q conflicts with fuzz spec", req.Driver)
 		}
 		if req.Sweep != nil {
-			return JobView{}, fmt.Errorf("job: fuzz and sweep specs conflict")
+			return "", fmt.Errorf("job: fuzz and sweep specs conflict")
 		}
 		fz := FuzzRequest{}
 		if req.Fuzz != nil {
@@ -300,25 +467,16 @@ func (s *Server) startJob(req JobRequest) (JobView, error) {
 		if req.Driver == "leaks" {
 			fz.Leaks = true
 		}
-		// Validate before accepting, so a bad campaign 400s instead of
-		// surfacing as a failed job.
 		if _, err := fz.resolve(); err != nil {
-			return JobView{}, err
+			return "", err
 		}
-		ctx, cancel := context.WithCancel(s.baseCtx)
-		id := s.jobs.create("fuzz", cancel)
-		go func() {
-			defer cancel()
-			s.runFuzzJob(ctx, id, fz)
-		}()
-		view, _ := s.jobs.get(id)
-		return view, nil
+		req.Fuzz = &fz
+		req.Driver = ""
+		return "fuzz", nil
 	}
-	isSweep := req.Sweep != nil || req.Driver == "sweep"
-	var d Driver
-	if isSweep {
+	if req.Sweep != nil || req.Driver == "sweep" {
 		if req.Driver != "" && req.Driver != "sweep" {
-			return JobView{}, fmt.Errorf("job: driver %q conflicts with sweep spec", req.Driver)
+			return "", fmt.Errorf("job: driver %q conflicts with sweep spec", req.Driver)
 		}
 		if req.Sweep == nil {
 			req.Sweep = &SweepSpec{}
@@ -328,34 +486,17 @@ func (s *Server) startJob(req JobRequest) (JobView, error) {
 		if req.Sweep.Workers == 0 {
 			req.Sweep.Workers = req.Workers
 		}
-		// Validate before accepting, so a bad grid 400s instead of
-		// surfacing as a failed job.
 		if _, err := req.Sweep.withDefaults().axes(); err != nil {
-			return JobView{}, err
+			return "", err
 		}
-	} else {
-		var ok bool
-		if d, ok = DriverByName(req.Driver); !ok {
-			return JobView{}, fmt.Errorf("job: unknown driver %q", req.Driver)
-		}
+		req.Driver = ""
+		return "sweep", nil
 	}
-
-	kind := "sweep"
-	if !isSweep {
-		kind = d.Name
+	d, ok := DriverByName(req.Driver)
+	if !ok {
+		return "", fmt.Errorf("job: unknown driver %q", req.Driver)
 	}
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	id := s.jobs.create(kind, cancel)
-	go func() {
-		defer cancel()
-		if isSweep {
-			s.runSweepJob(ctx, id, *req.Sweep)
-		} else {
-			s.runDriverJob(ctx, id, d, req.RunRequest)
-		}
-	}()
-	view, _ := s.jobs.get(id)
-	return view, nil
+	return d.Name, nil
 }
 
 // runDriverJob executes one run driver asynchronously, sharing the result
@@ -363,41 +504,54 @@ func (s *Server) startJob(req JobRequest) (JobView, error) {
 // instantly, a fresh one is stored for them.  It computes outside
 // rescache.Do so that cancelling this job never aborts a synchronous
 // request coalesced on the same key.
-func (s *Server) runDriverJob(ctx context.Context, id string, d Driver, req RunRequest) {
+func (s *Server) runDriverJob(ctx context.Context, id string, attempt int, d Driver, req RunRequest) {
 	cfg, p, err := req.resolve()
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), false)
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
 		return
 	}
 	key, err := d.cacheKey(cfg, p)
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), false)
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
 		return
 	}
 	if body, ok := s.cache.Get(key); ok {
-		s.jobs.finish(id, body, "", false)
+		s.jobs.finish(id, attempt, key, body, "", false)
 		return
 	}
 	s.simulations.Add(1)
 	res, err := d.run(sweep.WithGate(ctx, s.gate), cfg, p, req.Workers)
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), errors.Is(err, context.Canceled))
+		s.jobs.finish(id, attempt, "", nil, err.Error(), errors.Is(err, context.Canceled))
 		return
 	}
 	body, err := Encode(res)
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), false)
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
 		return
 	}
 	s.cache.Add(key, body)
-	s.jobs.finish(id, body, "", false)
+	s.jobs.finish(id, attempt, key, body, "", false)
 }
 
-// runSweepJob executes a sweep asynchronously with live progress.
-func (s *Server) runSweepJob(ctx context.Context, id string, spec SweepSpec) {
+// runSweepJob executes a sweep asynchronously with live progress, sharing
+// the result cache with the synchronous endpoint: a restarted server serves
+// the same grid from disk instead of re-simulating it.
+func (s *Server) runSweepJob(ctx context.Context, id string, attempt int, spec SweepSpec) {
+	keySpec := spec.withDefaults()
+	keySpec.Workers = 0
+	key, err := core.HashKey("sweep", keySpec)
+	if err != nil {
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.jobs.finish(id, attempt, key, body, "", false)
+		return
+	}
 	s.simulations.Add(1)
 	res, _, runErr := RunSweep(sweep.WithGate(ctx, s.gate), spec, sweep.Options{
-		OnProgress: func(done, total int) { s.jobs.progress(id, done, total) },
+		OnProgress: func(done, total int) { s.jobs.progress(id, attempt, done, total) },
 	})
 	cancelled := errors.Is(runErr, context.Canceled)
 	if res.Rows == nil {
@@ -405,15 +559,22 @@ func (s *Server) runSweepJob(ctx context.Context, id string, spec SweepSpec) {
 		if runErr != nil {
 			msg = runErr.Error()
 		}
-		s.jobs.finish(id, nil, msg, cancelled)
+		s.jobs.finish(id, attempt, "", nil, msg, cancelled)
 		return
 	}
 	body, err := Encode(res)
 	if err != nil {
-		s.jobs.finish(id, nil, err.Error(), false)
+		s.jobs.finish(id, attempt, "", nil, err.Error(), false)
 		return
 	}
-	s.jobs.finish(id, body, "", cancelled)
+	if cancelled {
+		// Partial rows attach to the job but never become the permanent
+		// cache entry for this key.
+		s.jobs.finish(id, attempt, "", body, "", true)
+		return
+	}
+	s.cache.Add(key, body)
+	s.jobs.finish(id, attempt, key, body, "", false)
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
@@ -574,14 +735,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 const maxBodyBytes = 1 << 20
 
 // decodeBody strictly decodes an optional JSON body; an empty body leaves
-// v at its zero value (the endpoint's defaults).
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+// v at its zero value (the endpoint's defaults).  Bodies over maxBodyBytes
+// surface as *http.MaxBytesError — writeBodyError maps them to 413.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
 		return err
 	}
 	return nil
+}
+
+// writeBodyError maps a decodeBody failure onto its status: 413 for a body
+// over the limit, 400 for anything else.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 }
 
 // writeBody writes a pre-encoded JSON body with the cache disposition.

@@ -316,7 +316,7 @@ func pollJob(t *testing.T, url string, id string) JobView {
 		if err := json.Unmarshal(body, &v); err != nil {
 			t.Fatal(err)
 		}
-		if v.Status != JobRunning {
+		if v.Status != JobRunning && v.Status != JobPending {
 			return v
 		}
 		if time.Now().After(deadline) {
@@ -432,10 +432,18 @@ func TestJobCancel(t *testing.T) {
 // evicted past the cap; running jobs survive and lifetime accounting holds.
 func TestJobStoreBounded(t *testing.T) {
 	s := newJobStore()
-	runningID := s.create("sweep", func() {})
+	noCtx := func() (context.Context, context.CancelFunc) { return context.WithCancel(context.Background()) }
+	runningID := s.create("sweep", JobRequest{})
+	if lj, ok := s.leaseNext(time.Now(), noCtx); !ok || lj.id != runningID {
+		t.Fatalf("lease of first job: %+v %v", lj, ok)
+	}
 	for i := 0; i < maxJobs+50; i++ {
-		id := s.create("fig9", func() {})
-		s.finish(id, []byte(`{}`), "", false)
+		id := s.create("fig9", JobRequest{})
+		lj, ok := s.leaseNext(time.Now(), noCtx)
+		if !ok || lj.id != id {
+			t.Fatalf("lease %d: %+v %v", i, lj, ok)
+		}
+		s.finish(id, lj.attempt, "", []byte(`{}`), "", false)
 	}
 	if n := len(s.list()); n > maxJobs {
 		t.Fatalf("store holds %d jobs, bound is %d", n, maxJobs)

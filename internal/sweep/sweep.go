@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+
+	"specrun/internal/faultinject"
 )
 
 // Options tunes one call to [Run].
@@ -24,6 +27,27 @@ type Options struct {
 	// the gate installed on the context by [WithGate] is used, so the budget
 	// reaches drivers that only thread a context.
 	Gate *Gate
+	// Retry, if non-nil, is consulted after each failed job attempt with the
+	// attempt number (1 = the first run) and its error; returning true
+	// re-runs the job immediately on the same worker (the gate token is held
+	// across retries).  Every simulation is deterministic and idempotent, so
+	// retrying transient failures — worker panics, injected faults — is
+	// always safe; only the final attempt's error reaches the JobError.
+	// Retries stop as soon as ctx is cancelled.
+	Retry func(attempt int, err error) bool
+}
+
+// PanicError is a worker panic converted into a job error: the recovered
+// value plus the goroutine stack at the panic site.  A panicking job must
+// never kill a long-running server whose inputs arrive over the network;
+// it must also never be silent — the stack makes the report actionable.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: job panicked: %v\n%s", e.Value, e.Stack)
 }
 
 // JobError wraps a job failure with the index of the input that caused it.
@@ -94,6 +118,9 @@ func Run[I, R any](ctx context.Context, items []I, fn func(context.Context, I) (
 					}
 				}
 				r, err := runJob(ctx, items[i], fn)
+				for attempt := 1; err != nil && opt.Retry != nil && ctx.Err() == nil && opt.Retry(attempt, err); attempt++ {
+					r, err = runJob(ctx, items[i], fn)
+				}
 				if gate != nil {
 					gate.Release()
 				}
@@ -157,16 +184,21 @@ dispatch:
 	return results, errors.Join(errs...)
 }
 
-// runJob executes one job, converting a panic into a job error.  Workers
-// run on their own goroutines, where an unrecovered panic would kill the
-// whole process — unacceptable for a long-running server whose job inputs
-// arrive over the network.
+// runJob executes one job, converting a panic into a *PanicError carrying
+// the stack.  Workers run on their own goroutines, where an unrecovered
+// panic would kill the whole process — unacceptable for a long-running
+// server whose job inputs arrive over the network.  The chaos harness's
+// worker-panic fault point fires here, before fn touches any simulator
+// state, so an injected panic is always cleanly retryable.
 func runJob[I, R any](ctx context.Context, item I, fn func(context.Context, I) (R, error)) (r R, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("sweep: job panicked: %v", p)
+			err = &PanicError{Value: p, Stack: debug.Stack()}
 		}
 	}()
+	if faultinject.Fire(faultinject.WorkerPanic) {
+		panic("injected worker panic")
+	}
 	return fn(ctx, item)
 }
 
